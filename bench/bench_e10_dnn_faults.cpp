@@ -1,0 +1,86 @@
+// E10 — AI case study: int8 MLP accuracy vs injected stuck-at faults in the
+// MAC datapath (site x bit position x polarity). Expected shape: high-order
+// accumulator bits crater accuracy to chance; low-order product bits are
+// functionally benign — the classic argument for structural (scan) test
+// over functional test of AI accelerators.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "dnn/quant.hpp"
+
+namespace aidft::dnn {
+namespace {
+
+struct E10Setup {
+  Dataset eval;
+  QuantizedMlp model;
+  double clean_accuracy;
+};
+
+const E10Setup& setup() {
+  static const E10Setup s = [] {
+    MlpFloat fp(16, 16, 4, 3);
+    fp.train(make_cluster_dataset(512, 16, 4, 1), 20, 0.05);
+    QuantizedMlp q = QuantizedMlp::quantize(fp);
+    Dataset eval = make_cluster_dataset(512, 16, 4, 2);
+    const double clean = q.accuracy(eval);
+    return E10Setup{std::move(eval), std::move(q), clean};
+  }();
+  return s;
+}
+
+void e10_fault(benchmark::State& state, MacFault::Site site, int bit,
+               bool stuck_one, int channel) {
+  const E10Setup& e = setup();
+  MacFault f;
+  f.site = site;
+  f.bit = bit;
+  f.stuck_one = stuck_one;
+  f.channel = channel;
+  double acc = 0;
+  for (auto _ : state) {
+    acc = e.model.accuracy(e.eval, MacUnit(f));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["clean_acc_pct"] = 100.0 * e.clean_accuracy;
+  state.counters["faulty_acc_pct"] = 100.0 * acc;
+  state.counters["acc_drop_pct"] = 100.0 * (e.clean_accuracy - acc);
+}
+
+void register_all() {
+  // Accumulator bits, global fault (every channel): the severity ramp.
+  for (int bit : {0, 4, 8, 12, 16, 20, 24}) {
+    for (bool sa1 : {false, true}) {
+      aidft::bench::reg(
+          std::string("E10/acc_bit") + std::to_string(bit) +
+              (sa1 ? "/SA1" : "/SA0") + "/all_channels",
+          [bit, sa1](benchmark::State& s) {
+            e10_fault(s, MacFault::Site::kAccumulator, bit, sa1, -1);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  // Multiplier product bits, single channel: the subtler blind spot.
+  for (int bit : {0, 3, 6, 9, 12, 14}) {
+    for (bool sa1 : {false, true}) {
+      aidft::bench::reg(
+          std::string("E10/mul_bit") + std::to_string(bit) +
+              (sa1 ? "/SA1" : "/SA0") + "/one_channel",
+          [bit, sa1](benchmark::State& s) {
+            e10_fault(s, MacFault::Site::kMultiplierOut, bit, sa1, 0);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft::dnn
+
+int main(int argc, char** argv) {
+  aidft::dnn::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E11 — Low-pin-count trade-off: scan-chain count vs test time for a fixed
+// pattern set. Expected shape: cycles fall ~1/chains until chain length
+// bottoms out; pin cost rises linearly — the knee is where AI chips with
+// huge flop counts and few test pins live, which is why they need
+// compression (E4) instead of more pins.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "aichip/systolic.hpp"
+#include "atpg/atpg.hpp"
+#include "fault/fault.hpp"
+#include "scan/scan.hpp"
+
+namespace aidft {
+namespace {
+
+struct E11Setup {
+  Netlist nl;
+  std::size_t patterns;
+};
+
+const E11Setup& setup() {
+  static const E11Setup s = [] {
+    aichip::SystolicConfig cfg;
+    cfg.rows = cfg.cols = 2;
+    cfg.width = 4;
+    E11Setup e{aichip::make_systolic_array(cfg), 0};
+    const auto faults = collapse_equivalent(e.nl, generate_stuck_at_faults(e.nl));
+    e.patterns = generate_tests(e.nl, faults).patterns.size();
+    return e;
+  }();
+  return s;
+}
+
+void e11_chains(benchmark::State& state, std::size_t chains) {
+  const E11Setup& e = setup();
+  ScanPlan plan;
+  ScanTimeModel model;
+  for (auto _ : state) {
+    plan = plan_scan_chains(e.nl, chains);
+    model.patterns = e.patterns;
+    model.max_chain_length = plan.max_chain_length();
+    benchmark::DoNotOptimize(model.cycles());
+  }
+  state.counters["chains"] = static_cast<double>(plan.num_chains());
+  state.counters["chain_len"] = static_cast<double>(plan.max_chain_length());
+  state.counters["patterns"] = static_cast<double>(e.patterns);
+  state.counters["cycles"] = static_cast<double>(model.cycles());
+  state.counters["scan_pins"] = static_cast<double>(2 * plan.num_chains() + 1);
+}
+
+void register_all() {
+  for (std::size_t chains : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    aidft::bench::reg(
+        "E11/chains" + std::to_string(chains),
+        [chains](benchmark::State& s) { e11_chains(s, chains); });
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E12 — Transition-delay-fault coverage: random pattern pairs vs two-vector
+// transition ATPG. Expected shape: mirrors E1 but shifted down — transition
+// faults need a launch AND a detect condition, so random pairs saturate
+// lower and slower; deterministic pairs reach 100% test coverage.
+#include <benchmark/benchmark.h>
+
+#include "atpg/transition_atpg.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+void e12_random(benchmark::State& state, const std::string& name,
+                std::size_t npatterns) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = generate_transition_faults(nl);
+  double coverage = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    const auto patterns =
+        random_patterns(nl.combinational_inputs().size(), npatterns, rng);
+    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(npatterns);
+  state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void e12_atpg(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = generate_transition_faults(nl);
+  TransitionAtpgResult result;
+  for (auto _ : state) {
+    result = generate_transition_tests(nl, faults);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(result.patterns.size());
+  state.counters["coverage_pct"] = 100.0 * result.fault_coverage();
+  state.counters["test_cov_pct"] = 100.0 * result.test_coverage();
+  state.counters["untestable"] = static_cast<double>(result.untestable);
+}
+
+void register_all() {
+  for (const char* name : {"mul8", "cla16", "alu8", "rpr4x12"}) {
+    for (std::size_t npat : {64, 256, 1024}) {
+      bench::reg(std::string("E12/random_pairs/") + name + "/p" +
+                     std::to_string(npat),
+                 [name, npat](benchmark::State& s) { e12_random(s, name, npat); })
+          ->Unit(benchmark::kMillisecond);
+    }
+    bench::reg(std::string("E12/transition_atpg/") + name,
+               [name](benchmark::State& s) { e12_atpg(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E13 — Scan shift power vs X-fill strategy. Expected shape: ATPG cubes are
+// mostly don't-care, so fill policy dominates shift power: adjacent
+// (repeat) fill cuts the weighted transition metric several-fold vs random
+// fill, with 0/1 fill in between, while every deterministically targeted
+// fault stays covered. This is the low-power-test knob AI-scale designs
+// pull first.
+#include <benchmark/benchmark.h>
+
+#include "aichip/systolic.hpp"
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "fsim/fault_sim.hpp"
+#include "scan/power.hpp"
+
+namespace aidft {
+namespace {
+
+struct E13Setup {
+  Netlist nl;
+  std::vector<Fault> faults;
+  std::vector<TestCube> cubes;
+};
+
+const E13Setup& setup() {
+  static const E13Setup s = [] {
+    // A 2x2 systolic array: its pipeline registers feed downstream PEs, so
+    // ATPG cubes genuinely constrain scan cells (unlike an output-register-
+    // only design where every load bit would be a don't-care).
+    aichip::SystolicConfig cfg;
+    cfg.rows = cfg.cols = 2;
+    cfg.width = 4;
+    E13Setup e{aichip::make_systolic_array(cfg), {}, {}};
+    e.faults = collapse_equivalent(e.nl, generate_stuck_at_faults(e.nl));
+    AtpgOptions opts;
+    opts.random_patterns = 0;
+    e.cubes = generate_tests(e.nl, e.faults, opts).cubes;
+    return e;
+  }();
+  return s;
+}
+
+void e13_fill(benchmark::State& state, const std::string& fill_name,
+              std::size_t chains) {
+  const E13Setup& e = setup();
+  const ScanPlan plan = plan_scan_chains(e.nl, chains);
+  double wtm = 0, peak = 0, coverage = 0;
+  for (auto _ : state) {
+    std::vector<TestCube> filled = e.cubes;
+    Rng rng(3);
+    if (fill_name == "random") {
+      fill_cubes(filled, XFill::kRandom, rng);
+    } else if (fill_name == "zero") {
+      fill_cubes(filled, XFill::kZero, rng);
+    } else if (fill_name == "one") {
+      fill_cubes(filled, XFill::kOne, rng);
+    } else {
+      adjacent_fill(e.nl, plan, filled);
+    }
+    const ShiftPowerReport p = shift_power(e.nl, plan, filled);
+    wtm = p.avg_wtm_per_pattern;
+    peak = p.peak_wtm_pattern;
+    const CampaignResult r = run_fault_campaign(e.nl, e.faults, filled);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["chains"] = static_cast<double>(chains);
+  state.counters["avg_wtm"] = wtm;
+  state.counters["peak_wtm"] = peak;
+  state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void register_all() {
+  for (const char* fill : {"random", "zero", "one", "adjacent"}) {
+    for (std::size_t chains : {1, 4}) {
+      bench::reg("E13/" + std::string(fill) + "/chains" + std::to_string(chains),
+                 [fill, chains](benchmark::State& s) { e13_fill(s, fill, chains); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

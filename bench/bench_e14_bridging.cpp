@@ -1,0 +1,74 @@
+// E14 — Bridging-defect coverage of stuck-at test sets. Expected shape:
+// a 100%-test-coverage stuck-at set detects the vast majority of wired
+// bridges incidentally (85-100%), with dominance bridges slightly harder;
+// random patterns lag on circuits whose nets rarely take opposite values.
+#include <benchmark/benchmark.h>
+
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fault/bridging.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+void e14_pattern_source(benchmark::State& state, const std::string& name,
+                        bool use_atpg, BridgeType type) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto bridges = sample_bridging_faults(nl, 300, 1234, {type});
+  std::vector<TestCube> patterns;
+  if (use_atpg) {
+    const auto sa = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+    patterns = generate_tests(nl, sa).patterns;
+  } else {
+    Rng rng(8);
+    patterns = random_patterns(nl.combinational_inputs().size(), 256, rng);
+  }
+  double coverage = 0;
+  for (auto _ : state) {
+    const CampaignResult r = run_bridging_campaign(nl, bridges, patterns);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["bridges"] = static_cast<double>(bridges.size());
+  state.counters["patterns"] = static_cast<double>(patterns.size());
+  state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void register_all() {
+  const struct {
+    const char* label;
+    BridgeType type;
+  } types[] = {
+      {"wired_and", BridgeType::kWiredAnd},
+      {"wired_or", BridgeType::kWiredOr},
+      {"dominant", BridgeType::kADominatesB},
+  };
+  for (const char* name : {"mul8", "alu8", "cla16", "mac8reg"}) {
+    for (const auto& t : types) {
+      bench::reg(std::string("E14/sa_atpg_set/") + name + "/" + t.label,
+                 [name, type = t.type](benchmark::State& s) {
+                   e14_pattern_source(s, name, true, type);
+                 })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      bench::reg(std::string("E14/random256/") + name + "/" + t.label,
+                 [name, type = t.type](benchmark::State& s) {
+                   e14_pattern_source(s, name, false, type);
+                 })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

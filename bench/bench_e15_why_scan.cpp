@@ -1,0 +1,112 @@
+// E15 — Why scan exists: functional (non-DFT) test vs full-scan test on
+// sequential designs. Functional test drives only primary inputs from reset
+// and watches only primary outputs; full scan makes every flop a test
+// point. Expected shape: functional coverage starts far below scan coverage
+// and climbs slowly with sequence length (deep state is nearly unreachable
+// by random stimulus); full-scan random patterns match or beat thousands of
+// functional cycles instantly, and scan ATPG closes to 100% testable. This
+// is the foundational argument of the whole tutorial.
+#include <benchmark/benchmark.h>
+
+#include "aichip/systolic.hpp"
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "fsim/fault_sim.hpp"
+#include "fsim/seq_fsim.hpp"
+
+namespace aidft {
+namespace {
+
+Netlist circuit(const std::string& name) {
+  if (name == "systolic2x2") {
+    aichip::SystolicConfig cfg;
+    cfg.rows = cfg.cols = 2;
+    cfg.width = 3;
+    return aichip::make_systolic_array(cfg);
+  }
+  if (name == "cnt8") return circuits::make_counter(8);
+  return bench::circuit_by_name(name);
+}
+
+void e15_functional(benchmark::State& state, const std::string& name,
+                    std::size_t cycles) {
+  const Netlist nl = circuit(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  double coverage = 0;
+  for (auto _ : state) {
+    Rng rng(21);
+    const InputSequence seq = random_sequence(nl, cycles, rng);
+    const SeqCampaignResult r = run_functional_campaign(nl, faults, seq);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+  state.counters["coverage_pct"] = 100.0 * coverage;
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void e15_scan_random(benchmark::State& state, const std::string& name,
+                     std::size_t npatterns) {
+  const Netlist nl = circuit(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  double coverage = 0;
+  for (auto _ : state) {
+    Rng rng(21);
+    const auto patterns =
+        random_patterns(nl.combinational_inputs().size(), npatterns, rng);
+    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(npatterns);
+  state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void e15_scan_atpg(benchmark::State& state, const std::string& name) {
+  const Netlist nl = circuit(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  AtpgResult result;
+  for (auto _ : state) {
+    result = generate_tests(nl, faults);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(result.patterns.size());
+  state.counters["coverage_pct"] = 100.0 * result.fault_coverage();
+  state.counters["test_cov_pct"] = 100.0 * result.test_coverage();
+}
+
+void register_all() {
+  for (const char* name : {"cnt8", "mac8reg", "systolic2x2"}) {
+    for (std::size_t cycles : {64, 256, 1024, 4096}) {
+      bench::reg(std::string("E15/functional/") + name + "/c" +
+                     std::to_string(cycles),
+                 [name, cycles](benchmark::State& s) {
+                   e15_functional(s, name, cycles);
+                 })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+    for (std::size_t npat : {64, 256}) {
+      bench::reg(std::string("E15/scan_random/") + name + "/p" +
+                     std::to_string(npat),
+                 [name, npat](benchmark::State& s) {
+                   e15_scan_random(s, name, npat);
+                 })
+          ->Unit(benchmark::kMillisecond);
+    }
+    bench::reg(std::string("E15/scan_atpg/") + name,
+               [name](benchmark::State& s) { e15_scan_atpg(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E16 — IDDQ (pseudo-stuck-at) test: coverage per pattern for current-based
+// screening vs logic test. Expected shape: IDDQ coverage rockets with a
+// handful of vectors (activation suffices — no propagation), saturating
+// well before logic test; the crossover argument for the handful of IDDQ
+// "strobes" production flows insert.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+void e16(benchmark::State& state, const std::string& name, std::size_t npat) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  double iddq_cov = 0, logic_cov = 0;
+  for (auto _ : state) {
+    Rng rng(2);
+    const auto cubes =
+        random_patterns(nl.combinational_inputs().size(), npat, rng);
+    FaultSimulator fsim(nl);
+    std::size_t iddq = 0, logic = 0;
+    std::vector<bool> iddq_done(faults.size(), false), logic_done(faults.size(), false);
+    for (std::size_t base = 0; base < cubes.size(); base += 64) {
+      const std::size_t count = std::min<std::size_t>(64, cubes.size() - base);
+      fsim.load_batch(pack_patterns(cubes, base, count));
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (!iddq_done[i] && fsim.detect_mask_iddq(faults[i]) != 0) {
+          iddq_done[i] = true;
+          ++iddq;
+        }
+        if (!logic_done[i] && fsim.detect_mask(faults[i]) != 0) {
+          logic_done[i] = true;
+          ++logic;
+        }
+      }
+    }
+    iddq_cov = static_cast<double>(iddq) / faults.size();
+    logic_cov = static_cast<double>(logic) / faults.size();
+    benchmark::DoNotOptimize(iddq + logic);
+  }
+  state.counters["patterns"] = static_cast<double>(npat);
+  state.counters["iddq_cov_pct"] = 100.0 * iddq_cov;
+  state.counters["logic_cov_pct"] = 100.0 * logic_cov;
+}
+
+void register_all() {
+  for (const char* name : {"mul8", "alu8", "mac8reg", "rpr4x12"}) {
+    for (std::size_t npat : {1, 2, 4, 8, 16, 64, 256}) {
+      bench::reg(std::string("E16/") + name + "/p" + std::to_string(npat),
+                 [name, npat](benchmark::State& s) { e16(s, name, npat); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

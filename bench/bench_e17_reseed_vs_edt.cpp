@@ -1,0 +1,79 @@
+// E17 — Static LFSR reseeding vs continuous-flow (EDT-style) compression on
+// the same synthetic cube population. Expected shape: reseeding's encode
+// success collapses once a cube's care bits approach the fixed seed width,
+// while EDT's per-cycle injection budget scales with chain length and keeps
+// encoding; conversely, for sparse cubes reseeding spends fewer bits per
+// pattern. This is the published reason continuous-flow decompressors
+// replaced static reseeding.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "compress/edt.hpp"
+#include "compress/reseed.hpp"
+
+namespace aidft {
+namespace {
+
+constexpr std::size_t kChains = 32;
+constexpr std::size_t kLen = 64;
+
+std::vector<std::vector<Val3>> load_with_care(std::size_t care, Rng& rng) {
+  std::vector<std::vector<Val3>> load(kChains,
+                                      std::vector<Val3>(kLen, Val3::kX));
+  for (std::size_t k = 0; k < care; ++k) {
+    load[rng.next_below(kChains)][rng.next_below(kLen)] =
+        rng.next_bool() ? Val3::kOne : Val3::kZero;
+  }
+  return load;
+}
+
+void e17(benchmark::State& state, std::size_t care_bits) {
+  EdtConfig edt_cfg;
+  edt_cfg.channels = 2;
+  const EdtCodec edt(edt_cfg, kChains, kLen);
+  ReseedConfig rs_cfg;
+  rs_cfg.lfsr_bits = 64;
+  const ReseedCodec reseed(rs_cfg, kChains, kLen);
+
+  double edt_ok = 0, rs_ok = 0;
+  const int trials = 50;
+  for (auto _ : state) {
+    Rng rng(care_bits * 7 + 1);
+    int a = 0, b = 0;
+    for (int t = 0; t < trials; ++t) {
+      const auto load = load_with_care(care_bits, rng);
+      if (edt.encode(load)) ++a;
+      if (reseed.encode(load)) ++b;
+    }
+    edt_ok = 100.0 * a / trials;
+    rs_ok = 100.0 * b / trials;
+    benchmark::DoNotOptimize(a + b);
+  }
+  state.counters["care_bits"] = static_cast<double>(care_bits);
+  state.counters["edt_encode_pct"] = edt_ok;
+  state.counters["reseed_encode_pct"] = rs_ok;
+  state.counters["edt_bits_per_pat"] =
+      static_cast<double>(edt.bits_per_pattern());
+  state.counters["reseed_bits_per_pat"] =
+      static_cast<double>(reseed.bits_per_pattern());
+}
+
+void register_all() {
+  for (std::size_t care : {16, 32, 48, 64, 96, 128, 160}) {
+    bench::reg("E17/care" + std::to_string(care),
+               [care](benchmark::State& s) { e17(s, care); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E1 — Stuck-at coverage vs pattern count: random patterns vs deterministic
+// ATPG. Expected shape: random coverage rises fast then plateaus below the
+// testable ceiling; ATPG reaches 100% test coverage with far fewer patterns.
+#include <benchmark/benchmark.h>
+
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+void e1_random(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  const auto npat = static_cast<std::size_t>(state.range(0));
+  double coverage = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    const auto patterns =
+        random_patterns(nl.combinational_inputs().size(), npat, rng);
+    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(npat);
+  state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void e1_atpg(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  AtpgResult result;
+  for (auto _ : state) {
+    AtpgOptions opts;
+    opts.random_patterns = 64;
+    result = generate_tests(nl, faults, opts);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(result.patterns.size());
+  state.counters["coverage_pct"] = 100.0 * result.fault_coverage();
+  state.counters["test_cov_pct"] = 100.0 * result.test_coverage();
+  state.counters["untestable"] = static_cast<double>(result.untestable);
+}
+
+void register_all() {
+  for (const char* name : {"mul8", "cla16", "alu8", "mac8", "rpr4x12"}) {
+    for (int npat : {16, 64, 256, 1024, 4096}) {
+      aidft::bench::reg(
+          std::string("E1/random/") + name + "/" + std::to_string(npat),
+          [name](benchmark::State& s) { e1_random(s, name); })
+          ->Arg(npat)
+          ->Unit(benchmark::kMillisecond);
+    }
+    aidft::bench::reg(std::string("E1/atpg/") + name,
+                                 [name](benchmark::State& s) { e1_atpg(s, name); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E3 — Fault-simulation throughput ladder:
+//   serial          — one pattern per full-circuit resimulation (textbook
+//                     baseline);
+//   parallel_ref    — 64-way bit-parallel patterns, still full resim per
+//                     fault (the pattern-parallelism win, ~64x);
+//   ppsfp           — event-driven single-fault propagation on top (wins
+//                     when fault cones are local, e.g. adders; global-cone
+//                     multipliers favour the branch-free full sweep);
+//   ppsfp_dropping  — plus fault dropping: the production configuration,
+//                     fastest everywhere.
+// Throughput counter: fault-pattern grades per second.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+constexpr std::size_t kPatterns = 256;
+
+void e3_serial(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(7);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
+  FaultSimulator fsim(nl);
+  for (auto _ : state) {
+    std::size_t detected = 0;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const PatternBatch one = pack_patterns(patterns, p, 1);
+      for (const Fault& f : faults) {
+        detected += fsim.detect_mask_reference(one, f) != 0;
+      }
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size() * kPatterns));
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void e3_reference(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(7);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
+  for (auto _ : state) {
+    const CampaignResult r = run_fault_campaign_reference(nl, faults, patterns);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size() * kPatterns));
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void e3_ppsfp(benchmark::State& state, const std::string& name, bool dropping) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(7);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
+  double coverage = 0;
+  for (auto _ : state) {
+    if (dropping) {
+      const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+      coverage = r.coverage();
+      benchmark::DoNotOptimize(r.detected);
+    } else {
+      // No dropping: grade every fault against every batch.
+      FaultSimulator fsim(nl);
+      std::size_t detected = 0;
+      for (std::size_t base = 0; base < patterns.size(); base += 64) {
+        fsim.load_batch(pack_patterns(patterns, base, 64));
+        for (const Fault& f : faults) detected += fsim.detect_mask(f) != 0;
+      }
+      benchmark::DoNotOptimize(detected);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size() * kPatterns));
+  state.counters["faults"] = static_cast<double>(faults.size());
+  if (dropping) state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+void register_all() {
+  for (const char* name : {"mul8", "mul12", "alu8", "mac8reg", "cla16"}) {
+    aidft::bench::reg(
+        std::string("E3/serial/") + name,
+        [name](benchmark::State& s) { e3_serial(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    aidft::bench::reg(
+        std::string("E3/parallel_ref/") + name,
+        [name](benchmark::State& s) { e3_reference(s, name); })
+        ->Unit(benchmark::kMillisecond);
+    aidft::bench::reg(
+        std::string("E3/ppsfp/") + name,
+        [name](benchmark::State& s) { e3_ppsfp(s, name, false); })
+        ->Unit(benchmark::kMillisecond);
+    aidft::bench::reg(
+        std::string("E3/ppsfp_dropping/") + name,
+        [name](benchmark::State& s) { e3_ppsfp(s, name, true); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E4 — EDT compression: stimulus compression and coverage vs scan-chain
+// count and channel count on a systolic-array core. Expected shape: 10-50x
+// compression with negligible ideal-observation coverage loss while care
+// bits stay within the GF(2) solve capacity; encode failures appear as
+// channels shrink; compaction aliasing costs a little more coverage as the
+// compactor narrows.
+#include <benchmark/benchmark.h>
+
+#include "aichip/systolic.hpp"
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "compress/session.hpp"
+#include "scan/scan.hpp"
+
+namespace aidft {
+namespace {
+
+struct E4Setup {
+  Netlist nl;
+  std::vector<Fault> faults;
+  std::vector<TestCube> cubes;
+};
+
+const E4Setup& setup() {
+  static const E4Setup s = [] {
+    aichip::SystolicConfig cfg;
+    cfg.rows = cfg.cols = 4;  // ~800 flops: enough depth for real ratios
+    cfg.width = 4;
+    E4Setup e{aichip::make_systolic_array(cfg), {}, {}};
+    e.faults = collapse_equivalent(e.nl, generate_stuck_at_faults(e.nl));
+    AtpgOptions opts;
+    opts.random_patterns = 0;  // pure deterministic cubes for encoding
+    const AtpgResult r = generate_tests(e.nl, e.faults, opts);
+    e.cubes = r.cubes;
+    return e;
+  }();
+  return s;
+}
+
+void e4_config(benchmark::State& state, std::size_t chains,
+               std::size_t channels, std::size_t out_channels) {
+  const E4Setup& e = setup();
+  const ScanPlan plan = plan_scan_chains(e.nl, chains);
+  CompressedSessionResult result;
+  for (auto _ : state) {
+    CompressedSessionConfig cfg;
+    cfg.edt.channels = channels;
+    cfg.out_channels = out_channels;
+    result = run_compressed_session(e.nl, plan, e.faults, e.cubes, cfg);
+    benchmark::DoNotOptimize(result.detected_ideal);
+  }
+  state.counters["cubes"] = static_cast<double>(result.cubes_offered);
+  state.counters["encode_fail"] = static_cast<double>(result.encode_failures);
+  state.counters["stim_compression_x"] = result.stimulus_compression;
+  state.counters["resp_compression_x"] = result.response_compression;
+  state.counters["cov_baseline_pct"] = 100.0 * result.coverage_baseline();
+  state.counters["cov_ideal_pct"] = 100.0 * result.coverage_ideal();
+  state.counters["cov_compact_pct"] = 100.0 * result.coverage_compacted();
+}
+
+void register_all() {
+  for (std::size_t chains : {8, 16, 32, 64}) {
+    for (std::size_t channels : {1, 2, 4}) {
+      const std::size_t out_channels = channels;
+      aidft::bench::reg(
+          "E4/chains" + std::to_string(chains) + "/ch" +
+              std::to_string(channels),
+          [=](benchmark::State& s) {
+            e4_config(s, chains, channels, out_channels);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

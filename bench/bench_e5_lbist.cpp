@@ -1,0 +1,56 @@
+// E5 — Logic BIST coverage vs PRPG pattern count, with and without
+// SCOAP-driven test points, on random-pattern-resistant logic. Expected
+// shape: LBIST plateaus well below ATPG coverage on RP-resistant cones;
+// a handful of control/observe points recovers several coverage points.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "bist/lbist.hpp"
+#include "bist/test_points.hpp"
+
+namespace aidft {
+namespace {
+
+void e5_lbist(benchmark::State& state, const std::string& name,
+              std::size_t npatterns, bool with_test_points) {
+  Netlist nl = bench::circuit_by_name(name);
+  if (with_test_points) {
+    const ScoapResult scoap = compute_scoap(nl);
+    const TestPointPlan plan = select_test_points(nl, scoap, 8, 8);
+    nl = apply_test_points(nl, plan);
+  }
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  LbistResult result;
+  for (auto _ : state) {
+    result = run_lbist(nl, faults, npatterns);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["patterns"] = static_cast<double>(npatterns);
+  state.counters["coverage_pct"] = 100.0 * result.coverage();
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void register_all() {
+  for (const char* name : {"alu8", "mul8", "rpr4x12", "rpr6x14"}) {
+    for (std::size_t npat : {64, 256, 1024, 4096}) {
+      aidft::bench::reg(
+          std::string("E5/lbist/") + name + "/p" + std::to_string(npat),
+          [name, npat](benchmark::State& s) { e5_lbist(s, name, npat, false); })
+          ->Unit(benchmark::kMillisecond);
+      aidft::bench::reg(
+          std::string("E5/lbist_tp/") + name + "/p" + std::to_string(npat),
+          [name, npat](benchmark::State& s) { e5_lbist(s, name, npat, true); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

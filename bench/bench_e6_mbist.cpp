@@ -1,0 +1,83 @@
+// E6 — March algorithm x memory-fault-model coverage matrix, plus the O(n)
+// cost of each algorithm. Expected shape: the textbook matrix — MATS misses
+// transitions, MATS+ misses coupling, March X adds inversion coupling,
+// March C- and March B catch everything here, at 10n/17n cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bist/mbist.hpp"
+
+namespace aidft {
+namespace {
+
+void e6_cell(benchmark::State& state, const std::string& alg_name,
+             const MarchAlgorithm& alg, MemFault::Kind kind,
+             std::size_t num_cells) {
+  double coverage = 0;
+  for (auto _ : state) {
+    coverage = march_coverage(alg, kind, num_cells, 200, 17);
+    benchmark::DoNotOptimize(coverage);
+  }
+  state.counters["coverage_pct"] = 100.0 * coverage;
+  state.counters["ops_per_cell"] = static_cast<double>(march_ops_per_cell(alg));
+  state.counters["cells"] = static_cast<double>(num_cells);
+  (void)alg_name;
+}
+
+void register_all() {
+  static const struct {
+    const char* name;
+    MarchAlgorithm alg;
+  } algs[] = {
+      {"MATS", march_mats()},        {"MATS+", march_mats_plus()},
+      {"MarchX", march_x()},         {"MarchC-", march_c_minus()},
+      {"MarchB", march_b()},
+  };
+  static const struct {
+    const char* name;
+    MemFault::Kind kind;
+  } kinds[] = {
+      {"SAF", MemFault::Kind::kStuckAt},
+      {"TF", MemFault::Kind::kTransition},
+      {"CFin", MemFault::Kind::kCouplingInv},
+      {"CFid", MemFault::Kind::kCouplingIdem},
+      {"CFst", MemFault::Kind::kCouplingState},
+      {"AF", MemFault::Kind::kAddressFault},
+  };
+  for (const auto& a : algs) {
+    for (const auto& k : kinds) {
+      aidft::bench::reg(
+          std::string("E6/") + a.name + "/" + k.name,
+          [&a, &k](benchmark::State& s) {
+            e6_cell(s, a.name, a.alg, k.kind, 1024);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  // Scaling row: March C- run time across memory sizes (linear).
+  for (std::size_t cells : {1024, 4096, 16384, 65536}) {
+    aidft::bench::reg(
+        "E6/scaling/MarchC-/" + std::to_string(cells),
+        [cells](benchmark::State& s) {
+          for (auto _ : s) {
+            FaultyMemory mem(cells);
+            benchmark::DoNotOptimize(run_march(march_c_minus(), mem));
+          }
+          s.SetItemsProcessed(
+              static_cast<std::int64_t>(s.iterations()) *
+              static_cast<std::int64_t>(cells * march_ops_per_cell(march_c_minus())));
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E7 — Hierarchical DFT for replicated AI cores: flat vs per-core-sequential
+// vs identical-core-broadcast test time as core count grows, PLUS a measured
+// proof on a real N-core netlist that broadcast patterns cover the full SoC
+// fault list at core coverage. Expected shape: broadcast is flat in N while
+// the alternatives grow linearly — the tutorial's headline argument.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "aichip/soc.hpp"
+#include "aichip/systolic.hpp"
+#include "aichip/test_time.hpp"
+#include "atpg/atpg.hpp"
+#include "fault/fault.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+struct E7Core {
+  Netlist nl;
+  std::vector<Fault> faults;
+  AtpgResult atpg;
+};
+
+const E7Core& core() {
+  static const E7Core c = [] {
+    aichip::SystolicConfig cfg;
+    cfg.rows = cfg.cols = 2;
+    cfg.width = 4;
+    E7Core e{aichip::make_systolic_array(cfg), {}, {}};
+    e.faults = collapse_equivalent(e.nl, generate_stuck_at_faults(e.nl));
+    e.atpg = generate_tests(e.nl, e.faults);
+    return e;
+  }();
+  return c;
+}
+
+void e7_test_time(benchmark::State& state, std::size_t num_cores) {
+  const E7Core& c = core();
+  aichip::CoreTestSpec spec;
+  spec.scan_cells = c.nl.dffs().size();
+  spec.patterns = c.atpg.patterns.size();
+  aichip::TesterConfig tester;
+  tester.channels = 8;
+  std::size_t flat = 0, seq = 0, bc = 0;
+  for (auto _ : state) {
+    flat = aichip::flat_test_cycles(spec, num_cores, tester);
+    seq = aichip::sequential_test_cycles(spec, num_cores, tester);
+    bc = aichip::broadcast_test_cycles(spec, num_cores, tester);
+    benchmark::DoNotOptimize(flat + seq + bc);
+  }
+  state.counters["cores"] = static_cast<double>(num_cores);
+  state.counters["flat_cycles"] = static_cast<double>(flat);
+  state.counters["sequential_cycles"] = static_cast<double>(seq);
+  state.counters["broadcast_cycles"] = static_cast<double>(bc);
+  state.counters["speedup_vs_flat"] =
+      bc == 0 ? 0.0 : static_cast<double>(flat) / static_cast<double>(bc);
+}
+
+void e7_measured_coverage(benchmark::State& state, std::size_t num_cores) {
+  const E7Core& c = core();
+  double soc_cov = 0, core_cov = 0;
+  std::size_t soc_gates = 0;
+  for (auto _ : state) {
+    const auto soc = aichip::make_replicated_soc(c.nl, num_cores);
+    soc_gates = soc.netlist.logic_gate_count();
+    auto soc_faults = collapse_equivalent(
+        soc.netlist, generate_stuck_at_faults(soc.netlist));
+    std::vector<TestCube> broadcast;
+    for (const auto& p : c.atpg.patterns) {
+      broadcast.push_back(aichip::broadcast_cube(soc, p));
+    }
+    const CampaignResult r =
+        run_fault_campaign(soc.netlist, soc_faults, broadcast);
+    soc_cov = r.coverage();
+    core_cov = c.atpg.fault_coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["cores"] = static_cast<double>(num_cores);
+  state.counters["soc_gates"] = static_cast<double>(soc_gates);
+  state.counters["soc_cov_pct"] = 100.0 * soc_cov;
+  state.counters["core_cov_pct"] = 100.0 * core_cov;
+}
+
+void register_all() {
+  for (std::size_t n : {1, 2, 4, 8, 16, 32, 64}) {
+    aidft::bench::reg(
+        "E7/test_time/cores" + std::to_string(n),
+        [n](benchmark::State& s) { e7_test_time(s, n); });
+  }
+  for (std::size_t n : {1, 2, 4, 8}) {
+    aidft::bench::reg(
+        "E7/measured_broadcast_coverage/cores" + std::to_string(n),
+        [n](benchmark::State& s) { e7_measured_coverage(s, n); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E8 — Fault collapsing: equivalence + dominance reduction ratios and the
+// fault-simulation time they save. Expected shape: equivalence keeps
+// ~40-70% of the universe on gate-level logic (less on inverter/buffer
+// heavy nets, none on XOR trees); campaign time scales with list size.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+void e8_ratios(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto universe = generate_stuck_at_faults(nl);
+  std::size_t eq_size = 0, dom_size = 0;
+  for (auto _ : state) {
+    const auto eq = collapse_equivalent(nl, universe);
+    const auto dom = collapse_dominance(nl, eq);
+    eq_size = eq.size();
+    dom_size = dom.size();
+    benchmark::DoNotOptimize(eq_size + dom_size);
+  }
+  state.counters["universe"] = static_cast<double>(universe.size());
+  state.counters["equivalence"] = static_cast<double>(eq_size);
+  state.counters["dominance"] = static_cast<double>(dom_size);
+  state.counters["eq_ratio"] =
+      static_cast<double>(eq_size) / static_cast<double>(universe.size());
+}
+
+void e8_fsim_savings(benchmark::State& state, const std::string& name,
+                     bool collapsed) {
+  const Netlist nl = bench::circuit_by_name(name);
+  auto faults = generate_stuck_at_faults(nl);
+  if (collapsed) faults = collapse_equivalent(nl, faults);
+  Rng rng(3);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
+  for (auto _ : state) {
+    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void register_all() {
+  for (const char* name : {"c17", "mul8", "cla16", "alu8", "parity32",
+                           "mac8reg", "rpr4x12", "cmp8"}) {
+    aidft::bench::reg(
+        std::string("E8/ratio/") + name,
+        [name](benchmark::State& s) { e8_ratios(s, name); });
+  }
+  for (const char* name : {"mul8", "alu8", "mac8reg"}) {
+    aidft::bench::reg(
+        std::string("E8/fsim_uncollapsed/") + name,
+        [name](benchmark::State& s) { e8_fsim_savings(s, name, false); })
+        ->Unit(benchmark::kMillisecond);
+    aidft::bench::reg(
+        std::string("E8/fsim_collapsed/") + name,
+        [name](benchmark::State& s) { e8_fsim_savings(s, name, true); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

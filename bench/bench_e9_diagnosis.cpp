@@ -1,0 +1,73 @@
+// E9 — Effect-cause diagnosis quality: how often the injected defect ranks
+// first (within its equivalence class) and how the top-score tie-group
+// (diagnostic resolution) shrinks as the fail log grows. Expected shape:
+// top-1 rate near 100% with a perfect-match top candidate; resolution
+// improves monotonically with more patterns.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "diag/diagnosis.hpp"
+
+namespace aidft {
+namespace {
+
+void e9_resolution(benchmark::State& state, const std::string& name,
+                   std::size_t npatterns) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(19);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), npatterns, rng);
+
+  std::size_t diagnosed = 0, top1 = 0, perfect = 0;
+  double tie_total = 0;
+  for (auto _ : state) {
+    diagnosed = top1 = perfect = 0;
+    tie_total = 0;
+    for (std::size_t d = 0; d < candidates.size(); d += 9) {
+      const FailLog log = simulate_defect(nl, patterns, candidates[d]);
+      if (!log.any_failure()) continue;
+      const DiagnosisResult r = diagnose(nl, patterns, log, candidates);
+      ++diagnosed;
+      if (r.rank_of(candidates[d]) == 1) ++top1;
+      if (!r.ranked.empty() && r.ranked[0].perfect()) ++perfect;
+      std::size_t ties = 0;
+      for (const auto& c : r.ranked) {
+        if (c.score == r.ranked[0].score) ++ties;
+      }
+      tie_total += static_cast<double>(ties);
+    }
+    benchmark::DoNotOptimize(diagnosed);
+  }
+  state.counters["patterns"] = static_cast<double>(npatterns);
+  state.counters["defects"] = static_cast<double>(diagnosed);
+  state.counters["top1_pct"] =
+      diagnosed ? 100.0 * static_cast<double>(top1) / diagnosed : 0;
+  state.counters["perfect_top_pct"] =
+      diagnosed ? 100.0 * static_cast<double>(perfect) / diagnosed : 0;
+  state.counters["avg_tie_group"] =
+      diagnosed ? tie_total / static_cast<double>(diagnosed) : 0;
+}
+
+void register_all() {
+  for (const char* name : {"mul8", "alu8", "mac8reg"}) {
+    for (std::size_t npat : {16, 64, 256}) {
+      aidft::bench::reg(
+          std::string("E9/") + name + "/p" + std::to_string(npat),
+          [name, npat](benchmark::State& s) { e9_resolution(s, name, npat); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Volume-diagnosis walkthrough: from tester fail log to ranked candidates.
+//
+// Simulates a defective chip (a stuck-at defect the program picks at
+// "manufacture" time), collects its fail log under an ATPG pattern set, and
+// runs effect-cause diagnosis to recover the defect location — printing the
+// top candidates exactly as a diagnosis report would.
+//
+//   ./diagnose_defect [defect_index]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "atpg/atpg.hpp"
+#include "bench_circuits/generators.hpp"
+#include "diag/diagnosis.hpp"
+#include "netlist/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aidft;
+
+  const Netlist design = circuits::make_array_multiplier(6);
+  std::printf("design '%s': %s\n", design.name().c_str(),
+              compute_stats(design).to_string().c_str());
+
+  // Production test patterns (what the tester applies).
+  const auto faults = generate_stuck_at_faults(design);
+  AtpgOptions atpg_opts;
+  atpg_opts.random_patterns = 128;
+  const AtpgResult atpg = generate_tests(design, faults, atpg_opts);
+  std::printf("test set: %zu patterns, %.2f%% fault coverage\n\n",
+              atpg.patterns.size(), 100.0 * atpg.fault_coverage());
+
+  // "Manufacture" a defective chip.
+  const std::size_t defect_index =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) % faults.size()
+               : faults.size() / 3;
+  const Fault defect = faults[defect_index];
+  std::printf("injected defect (hidden from diagnosis): %s\n",
+              fault_name(design, defect).c_str());
+
+  // The tester logs which observe points failed on which patterns.
+  const FailLog log = simulate_defect(design, atpg.patterns, defect);
+  std::printf("tester observed %zu failing patterns\n\n",
+              log.failing_pattern_count());
+  if (!log.any_failure()) {
+    std::printf("defect escapes this test set (undetected fault)\n");
+    return 0;
+  }
+
+  // Effect-cause diagnosis over the full candidate universe.
+  const DiagnosisResult result = diagnose(design, atpg.patterns, log, faults);
+  std::printf("top candidates (of %zu that explain at least one failure):\n",
+              result.ranked.size());
+  const std::size_t show = std::min<std::size_t>(8, result.ranked.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& c = result.ranked[i];
+    std::printf("  #%zu %-18s score=%8.1f  TP=%llu FP=%llu FN=%llu%s\n", i + 1,
+                fault_name(design, c.fault).c_str(), c.score,
+                static_cast<unsigned long long>(c.tp),
+                static_cast<unsigned long long>(c.fp),
+                static_cast<unsigned long long>(c.fn),
+                c.fault == defect ? "   <-- injected defect" : "");
+  }
+  std::printf("\ninjected defect ranked #%zu\n", result.rank_of(defect));
+  return 0;
+}

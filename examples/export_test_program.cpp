@@ -1,0 +1,68 @@
+// From RTL-ish design to tester handoff: generate patterns, write the STIL
+// test program, and show the TAP state walk a tester performs to deliver
+// it — the full "DFT output" of a flow, on stdout.
+//
+//   ./export_test_program [out.stil]
+#include <cstdio>
+#include <fstream>
+
+#include "atpg/atpg.hpp"
+#include "bench_circuits/generators.hpp"
+#include "scan/stil_io.hpp"
+#include "scan/tap.hpp"
+#include "sim/event_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aidft;
+
+  // 1. ATPG on a registered MAC.
+  const Netlist design = circuits::make_mac(4, /*registered=*/true);
+  const auto faults = collapse_equivalent(design, generate_stuck_at_faults(design));
+  AtpgOptions opts;
+  opts.random_patterns = 32;
+  const AtpgResult atpg = generate_tests(design, faults, opts);
+  std::printf("design '%s': %zu patterns, %.2f%% test coverage\n",
+              design.name().c_str(), atpg.patterns.size(),
+              100.0 * atpg.test_coverage());
+
+  // 2. STIL export.
+  const ScanPlan plan = plan_scan_chains(design, 2);
+  const std::string stil = write_stil_string(design, plan, atpg.patterns);
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << stil;
+    std::printf("wrote %zu bytes of STIL to %s\n", stil.size(), argv[1]);
+  } else {
+    // Print the header and the first pattern as a taste.
+    const std::size_t cut = stil.find("Pattern \"p1\"");
+    std::printf("\n---- test program (truncated) ----\n%.*s...\n",
+                static_cast<int>(cut == std::string::npos ? stil.size() : cut),
+                stil.c_str());
+  }
+
+  // 3. The TAP walk that delivers one scan load on silicon.
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  for (int i = 0; i < 5; ++i) {  // reset
+    sim.set_input(tap.tms, ~0ull);
+    sim.clock();
+  }
+  std::printf("---- TAP walk for one load/capture ----\n");
+  const struct {
+    bool tms;
+    const char* label;
+  } walk[] = {
+      {false, "Run-Test/Idle"}, {true, "Select-DR"},   {false, "Capture-DR"},
+      {false, "Shift-DR"},      {false, "Shift-DR"},   {false, "Shift-DR"},
+      {true, "Exit1-DR"},       {true, "Update-DR"},   {false, "Run-Test/Idle"},
+  };
+  for (const auto& s : walk) {
+    sim.set_input(tap.tms, s.tms ? ~0ull : 0);
+    sim.clock();
+    std::printf("  TMS=%d -> %-15s shiftDR=%llu updateDR=%llu\n", s.tms,
+                s.label,
+                static_cast<unsigned long long>(sim.value(tap.o_shift_dr) & 1),
+                static_cast<unsigned long long>(sim.value(tap.o_update_dr) & 1));
+  }
+  return 0;
+}

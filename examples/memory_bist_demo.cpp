@@ -1,0 +1,70 @@
+// Memory BIST walkthrough: March algorithms vs memory fault models.
+//
+// Prints the coverage matrix for the classic March algorithms over the
+// standard bit-cell fault models, then demonstrates a single detection in
+// detail: injecting one coupling fault and showing which March element
+// catches it.
+//
+//   ./memory_bist_demo
+#include <cstdio>
+
+#include "bist/mbist.hpp"
+
+int main() {
+  using namespace aidft;
+
+  const struct {
+    const char* name;
+    MarchAlgorithm alg;
+  } algorithms[] = {
+      {"MATS", march_mats()},   {"MATS+", march_mats_plus()},
+      {"MarchX", march_x()},    {"MarchC-", march_c_minus()},
+      {"MarchB", march_b()},
+  };
+  const struct {
+    const char* name;
+    MemFault::Kind kind;
+  } models[] = {
+      {"SAF", MemFault::Kind::kStuckAt},
+      {"TF", MemFault::Kind::kTransition},
+      {"CFin", MemFault::Kind::kCouplingInv},
+      {"CFid", MemFault::Kind::kCouplingIdem},
+      {"CFst", MemFault::Kind::kCouplingState},
+      {"AF", MemFault::Kind::kAddressFault},
+  };
+
+  std::printf("March coverage matrix (%% of 200 random fault instances "
+              "detected, 1K-bit RAM)\n\n");
+  std::printf("%-9s %5s", "", "ops/n");
+  for (const auto& m : models) std::printf(" %6s", m.name);
+  std::printf("\n");
+  for (const auto& a : algorithms) {
+    std::printf("%-9s %4zun", a.name, march_ops_per_cell(a.alg));
+    for (const auto& m : models) {
+      const double cov = march_coverage(a.alg, m.kind, 1024, 200, 99);
+      std::printf(" %5.0f%%", 100.0 * cov);
+    }
+    std::printf("\n");
+  }
+
+  // One fault in detail — a case chosen to show a MATS+ escape: the
+  // aggressor sits below the victim and triggers on a down-transition, so
+  // the flip happens after MATS+'s descending pass has already read the
+  // victim; March C-'s final read sweep catches it.
+  std::printf("\nsingle-fault detail: inversion coupling, aggressor 2 -> "
+              "victim 7 (down-transition flips victim)\n");
+  MemFault f;
+  f.kind = MemFault::Kind::kCouplingInv;
+  f.cell = 7;
+  f.aggressor = 2;
+  f.value = 0;
+  FaultyMemory mem(16, f);
+  std::printf("  MATS+   verdict: %s\n",
+              run_march(march_mats_plus(), mem) ? "PASS (fault escapes!)"
+                                                : "FAIL (detected)");
+  FaultyMemory mem2(16, f);
+  std::printf("  MarchC- verdict: %s\n",
+              run_march(march_c_minus(), mem2) ? "PASS (fault escapes!)"
+                                               : "FAIL (detected)");
+  return 0;
+}

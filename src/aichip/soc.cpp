@@ -1,0 +1,127 @@
+#include "aichip/soc.hpp"
+
+#include <string>
+
+namespace aidft::aichip {
+
+std::size_t SocNetlist::comb_index(std::size_t inst, std::size_t k) const {
+  AIDFT_ASSERT(inst < num_instances, "instance out of range");
+  AIDFT_ASSERT(k < core_pis + core_ffs, "core input index out of range");
+  if (k < core_pis) return inst * core_pis + k;
+  // Flop pseudo-inputs come after all instances' primary inputs.
+  return num_instances * core_pis + inst * core_ffs + (k - core_pis);
+}
+
+SocNetlist make_replicated_soc(const Netlist& core, std::size_t n) {
+  AIDFT_REQUIRE(core.finalized(), "core must be finalized");
+  AIDFT_REQUIRE(n >= 1, "need at least one instance");
+  SocNetlist soc;
+  soc.netlist.set_name(core.name() + "_x" + std::to_string(n));
+  soc.num_instances = n;
+  soc.core_pis = core.inputs().size();
+  soc.core_ffs = core.dffs().size();
+
+  for (std::size_t inst = 0; inst < n; ++inst) {
+    const std::string prefix = "u" + std::to_string(inst) + "_";
+    std::vector<GateId> map(core.num_gates());
+    for (GateId id = 0; id < core.num_gates(); ++id) {
+      const Gate& g = core.gate(id);
+      map[id] = soc.netlist.add_gate(g.type,
+                                     g.name.empty() ? "" : prefix + g.name);
+    }
+    for (GateId id = 0; id < core.num_gates(); ++id) {
+      for (GateId f : core.gate(id).fanin) {
+        soc.netlist.connect(map[f], map[id]);
+      }
+    }
+  }
+  soc.netlist.finalize();
+
+  // The comb_index() arithmetic relies on instance-major add order for PIs
+  // and flops; verify it held.
+  AIDFT_ASSERT(soc.netlist.inputs().size() == n * soc.core_pis,
+               "SoC PI count mismatch");
+  AIDFT_ASSERT(soc.netlist.dffs().size() == n * soc.core_ffs,
+               "SoC flop count mismatch");
+  return soc;
+}
+
+SocNetlist make_replicated_soc_with_compare(const Netlist& core, std::size_t n) {
+  AIDFT_REQUIRE(core.finalized(), "core must be finalized");
+  AIDFT_REQUIRE(n >= 2, "compare needs at least two instances");
+  SocNetlist soc;
+  soc.netlist.set_name(core.name() + "_x" + std::to_string(n) + "_cmp");
+  soc.num_instances = n;
+  soc.core_pis = core.inputs().size();
+  soc.core_ffs = core.dffs().size();
+
+  // Per instance: the gates driving each primary-output marker. The
+  // markers themselves are NOT cloned — on-chip compare replaces direct
+  // observation of instance outputs.
+  std::vector<std::vector<GateId>> po_drivers(n);
+  for (std::size_t inst = 0; inst < n; ++inst) {
+    const std::string prefix = "u" + std::to_string(inst) + "_";
+    std::vector<GateId> map(core.num_gates(), kNoGate);
+    for (GateId id = 0; id < core.num_gates(); ++id) {
+      const Gate& g = core.gate(id);
+      if (g.type == GateType::kOutput) continue;
+      map[id] = soc.netlist.add_gate(g.type,
+                                     g.name.empty() ? "" : prefix + g.name);
+    }
+    for (GateId id = 0; id < core.num_gates(); ++id) {
+      if (core.type(id) == GateType::kOutput) continue;
+      for (GateId f : core.gate(id).fanin) {
+        soc.netlist.connect(map[f], map[id]);
+      }
+    }
+    for (GateId po : core.outputs()) {
+      po_drivers[inst].push_back(map[core.gate(po).fanin[0]]);
+    }
+  }
+  // Compare trees: instance i vs instance 0.
+  for (std::size_t inst = 1; inst < n; ++inst) {
+    std::vector<GateId> diffs;
+    diffs.reserve(po_drivers[0].size());
+    for (std::size_t k = 0; k < po_drivers[0].size(); ++k) {
+      diffs.push_back(soc.netlist.add_gate(
+          GateType::kXor, {po_drivers[0][k], po_drivers[inst][k]}));
+    }
+    GateId any = diffs.empty() ? kNoGate : diffs[0];
+    if (diffs.size() > 1) {
+      // Balanced OR reduction.
+      std::vector<GateId> layer = diffs;
+      while (layer.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+          next.push_back(
+              soc.netlist.add_gate(GateType::kOr, {layer[i], layer[i + 1]}));
+        }
+        if (layer.size() % 2 == 1) next.push_back(layer.back());
+        layer = std::move(next);
+      }
+      any = layer[0];
+    }
+    AIDFT_REQUIRE(any != kNoGate, "core has no primary outputs to compare");
+    soc.mismatch_outputs.push_back(
+        soc.netlist.add_output(any, "mismatch" + std::to_string(inst)));
+  }
+  soc.instance_po_drivers = std::move(po_drivers);
+  soc.netlist.finalize();
+  AIDFT_ASSERT(soc.netlist.inputs().size() == n * soc.core_pis,
+               "SoC PI count mismatch");
+  return soc;
+}
+
+TestCube broadcast_cube(const SocNetlist& soc, const TestCube& core_cube) {
+  AIDFT_REQUIRE(core_cube.size() == soc.core_pis + soc.core_ffs,
+                "core cube width mismatch");
+  TestCube out(soc.num_instances * core_cube.size());
+  for (std::size_t inst = 0; inst < soc.num_instances; ++inst) {
+    for (std::size_t k = 0; k < core_cube.size(); ++k) {
+      out.bits[soc.comb_index(inst, k)] = core_cube.bits[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace aidft::aichip

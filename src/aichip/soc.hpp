@@ -1,0 +1,54 @@
+// Multi-core accelerator SoC model and identical-core broadcast test.
+//
+// AI accelerators replicate one core design tens of times. Hierarchical DFT
+// exploits that: generate patterns for ONE core, then broadcast the same
+// stimulus to every instance in parallel and compare/compact responses
+// per instance. make_replicated_soc() builds the N-instance netlist;
+// broadcast_cube() lifts a core-level pattern to the SoC; coverage of the
+// broadcast set over the whole-SoC fault list equals the core's coverage —
+// the property benchmark E7 and the tests verify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft::aichip {
+
+struct SocNetlist {
+  Netlist netlist;
+  std::size_t num_instances = 0;
+  std::size_t core_pis = 0;   // per-core primary input count
+  std::size_t core_ffs = 0;   // per-core flop count
+  /// Only set by make_replicated_soc_with_compare: mismatch flag output per
+  /// instance 1..n-1 (instance i vs instance 0), in instance order.
+  std::vector<GateId> mismatch_outputs;
+  /// Only set by make_replicated_soc_with_compare: per instance, the SoC
+  /// gates carrying what the core's primary outputs would show (the compare
+  /// trees' inputs), in core-output order.
+  std::vector<std::vector<GateId>> instance_po_drivers;
+
+  /// SoC combinational-input index of instance `inst`'s input `k` (in the
+  /// core's combinational_inputs() order).
+  std::size_t comb_index(std::size_t inst, std::size_t k) const;
+};
+
+/// Clones `core` N times (names prefixed u<i>_), each instance with its own
+/// primary inputs and outputs.
+SocNetlist make_replicated_soc(const Netlist& core, std::size_t n);
+
+/// Like make_replicated_soc, plus on-chip response compare: each instance
+/// i >= 1 gets a "mismatch<i>" output that ORs the XOR of its primary-output
+/// values against instance 0's. Under broadcast stimulus all fault-free
+/// instances agree, so a raised flag both detects the defect and names the
+/// failing core — the observation half of identical-core broadcast test
+/// (scan unload comparison works the same way off-chip).
+SocNetlist make_replicated_soc_with_compare(const Netlist& core, std::size_t n);
+
+/// Lifts a core-level cube to the SoC by giving every instance the same
+/// values (the broadcast-scan stimulus).
+TestCube broadcast_cube(const SocNetlist& soc, const TestCube& core_cube);
+
+}  // namespace aidft::aichip

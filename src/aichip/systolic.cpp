@@ -1,0 +1,132 @@
+#include "aichip/systolic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "bench_circuits/arith.hpp"
+
+namespace aidft::aichip {
+namespace {
+
+std::string idx(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+
+struct PeWires {
+  std::vector<GateId> a_reg;     // east-bound activation registers
+  std::vector<GateId> b_reg;     // south-bound weight registers
+  std::vector<GateId> psum_reg;  // south-bound partial-sum registers
+};
+
+// Builds one PE's logic inside `nl`. Returns the registered outputs.
+PeWires build_pe(Netlist& nl, const std::vector<GateId>& a_in,
+                 const std::vector<GateId>& b_in,
+                 const std::vector<GateId>& psum_in,
+                 const std::string& prefix) {
+  const std::size_t w = a_in.size();
+  const std::size_t acc = psum_in.size();
+  PeWires pe;
+
+  // prod = a*b; sum = psum_in + prod. The guard bits above 2w see only the
+  // carry, so they get half-adder cells — no dead constant logic that would
+  // show up as untestable faults.
+  const std::vector<GateId> prod = circuits::array_multiplier(nl, a_in, b_in);
+  std::vector<GateId> sum(acc);
+  GateId carry = kNoGate;
+  for (std::size_t i = 0; i < acc; ++i) {
+    if (i < prod.size()) {
+      auto [s, c] = circuits::full_adder(nl, psum_in[i], prod[i], carry);
+      sum[i] = s;
+      carry = c;
+    } else if (carry != kNoGate) {
+      auto [s, c] = circuits::full_adder(nl, psum_in[i], carry, kNoGate);
+      sum[i] = s;
+      carry = c;
+    } else {
+      sum[i] = psum_in[i];
+    }
+  }
+
+  for (std::size_t i = 0; i < w; ++i) {
+    pe.a_reg.push_back(nl.add_dff(a_in[i], prefix + idx("a_reg", i)));
+    pe.b_reg.push_back(nl.add_dff(b_in[i], prefix + idx("b_reg", i)));
+  }
+  for (std::size_t i = 0; i < acc; ++i) {
+    pe.psum_reg.push_back(nl.add_dff(sum[i], prefix + idx("psum_reg", i)));
+  }
+  return pe;
+}
+
+}  // namespace
+
+Netlist make_pe(std::size_t width) {
+  AIDFT_REQUIRE(width >= 2 && width <= 16, "PE width in [2,16]");
+  Netlist nl("pe_w" + std::to_string(width));
+  const std::size_t acc = 2 * width + 4;
+  std::vector<GateId> a(width), b(width), psum(acc);
+  for (std::size_t i = 0; i < width; ++i) a[i] = nl.add_input(idx("a", i));
+  for (std::size_t i = 0; i < width; ++i) b[i] = nl.add_input(idx("b", i));
+  for (std::size_t i = 0; i < acc; ++i) psum[i] = nl.add_input(idx("psum", i));
+  const PeWires pe = build_pe(nl, a, b, psum, "");
+  for (std::size_t i = 0; i < width; ++i) {
+    nl.add_output(pe.a_reg[i], idx("a_out", i));
+    nl.add_output(pe.b_reg[i], idx("b_out", i));
+  }
+  for (std::size_t i = 0; i < acc; ++i) {
+    nl.add_output(pe.psum_reg[i], idx("psum_out", i));
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_systolic_array(const SystolicConfig& cfg) {
+  AIDFT_REQUIRE(cfg.rows >= 1 && cfg.cols >= 1, "array needs >= 1x1 PEs");
+  AIDFT_REQUIRE(cfg.width >= 2 && cfg.width <= 16, "width in [2,16]");
+  Netlist nl("systolic_" + std::to_string(cfg.rows) + "x" +
+             std::to_string(cfg.cols) + "_w" + std::to_string(cfg.width));
+  const std::size_t w = cfg.width;
+  const std::size_t acc = 2 * w + 4;
+
+  // West-edge activations, north-edge weights and partial-sum inputs (the
+  // psum inputs support cascading arrays for tiled matmuls AND keep the
+  // top-row accumulators fully controllable — no untestable constant cone).
+  std::vector<std::vector<GateId>> a_row(cfg.rows);
+  std::vector<std::vector<GateId>> b_col(cfg.cols);
+  std::vector<std::vector<GateId>> psum_in(cfg.cols);
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    for (std::size_t i = 0; i < w; ++i) {
+      a_row[r].push_back(nl.add_input(idx("a" + std::to_string(r), i)));
+    }
+  }
+  for (std::size_t c = 0; c < cfg.cols; ++c) {
+    for (std::size_t i = 0; i < w; ++i) {
+      b_col[c].push_back(nl.add_input(idx("b" + std::to_string(c), i)));
+    }
+    for (std::size_t i = 0; i < acc; ++i) {
+      psum_in[c].push_back(nl.add_input(idx("pin" + std::to_string(c), i)));
+    }
+  }
+
+  // Grid wiring: a flows east, b and psum flow south.
+  std::vector<std::vector<GateId>> b_in = b_col;
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    std::vector<GateId> a_in = a_row[r];
+    for (std::size_t c = 0; c < cfg.cols; ++c) {
+      const std::string prefix =
+          "pe" + std::to_string(r) + "_" + std::to_string(c) + "_";
+      const PeWires pe = build_pe(nl, a_in, b_in[c], psum_in[c], prefix);
+      a_in = pe.a_reg;        // east
+      b_in[c] = pe.b_reg;     // south
+      psum_in[c] = pe.psum_reg;
+    }
+  }
+  for (std::size_t c = 0; c < cfg.cols; ++c) {
+    for (std::size_t i = 0; i < acc; ++i) {
+      nl.add_output(psum_in[c][i], idx("psum" + std::to_string(c), i));
+    }
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace aidft::aichip

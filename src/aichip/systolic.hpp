@@ -1,0 +1,37 @@
+// Gate-level systolic MAC array — the AI-accelerator datapath the tutorial's
+// DFT methods target.
+//
+// Weight/activation streaming layout (output-stationary variant):
+// activations enter on the west edge and shift east through pipeline
+// registers; weights enter on the north edge and shift south; each PE adds
+// a*b into the partial sum arriving from the north and registers it south.
+// Every register is an ordinary DFF, so full-scan insertion, ATPG,
+// compression, and BIST all apply directly — the regular, replicated
+// structure is what makes AI chips DFT-friendly, which is the claim the
+// benchmarks quantify.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft::aichip {
+
+struct SystolicConfig {
+  std::size_t rows = 2;
+  std::size_t cols = 2;
+  std::size_t width = 4;  // operand bit width; accumulators get 2w+4 bits
+};
+
+/// One processing element as a standalone netlist (unit-testable):
+/// inputs a[w], b[w], psum[acc]; registered outputs a_out[w] (east),
+/// b_out[w] (south), psum_out[acc] (south), observed via output markers.
+Netlist make_pe(std::size_t width);
+
+/// rows x cols PE grid. Primary inputs: a<r>[w] per row (west edge),
+/// b<c>[w] per column (north edge); psum enters as 0 at the north edge.
+/// Primary outputs: psum<c>[acc] on the south edge. All inter-PE pipeline
+/// registers are DFFs.
+Netlist make_systolic_array(const SystolicConfig& config);
+
+}  // namespace aidft::aichip

@@ -1,0 +1,112 @@
+#include "aichip/test_time.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aidft::aichip {
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::size_t scan_session_cycles(std::size_t patterns, std::size_t chain_length) {
+  if (patterns == 0 || chain_length == 0) return 0;
+  return chain_length + patterns * (chain_length + 1);
+}
+
+std::size_t flat_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                             const TesterConfig& tester) {
+  AIDFT_REQUIRE(tester.channels >= 1, "tester needs channels");
+  // All instances' flops share the C chains; identical cores still merge
+  // into one pattern set (disjoint input supports), but every chain is N
+  // times longer.
+  const std::size_t chain_len = ceil_div(core.scan_cells * num_cores, tester.channels);
+  return scan_session_cycles(core.patterns, chain_len);
+}
+
+std::size_t sequential_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                                   const TesterConfig& tester) {
+  AIDFT_REQUIRE(tester.channels >= 1, "tester needs channels");
+  const std::size_t chain_len = ceil_div(core.scan_cells, tester.channels);
+  return num_cores * scan_session_cycles(core.patterns, chain_len);
+}
+
+std::size_t broadcast_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                                  const TesterConfig& tester) {
+  AIDFT_REQUIRE(tester.channels >= 1, "tester needs channels");
+  (void)num_cores;  // the whole point: cost is independent of N
+  const std::size_t chain_len = ceil_div(core.scan_cells, tester.channels);
+  return scan_session_cycles(core.patterns, chain_len);
+}
+
+TestSchedule schedule_tests(std::vector<ScheduledTest> tests, double power_budget) {
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    AIDFT_REQUIRE(tests[i].power <= power_budget,
+                  "test '" + tests[i].name + "' alone exceeds the power budget");
+    for (std::size_t j = i + 1; j < tests.size(); ++j) {
+      AIDFT_REQUIRE(tests[i].name != tests[j].name,
+                    "test names must be unique: " + tests[i].name);
+    }
+  }
+  std::sort(tests.begin(), tests.end(), [](const auto& a, const auto& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.name < b.name;
+  });
+
+  TestSchedule schedule;
+  // Event-based greedy: try to start each test at the earliest time where
+  // the running set stays under budget. Candidate start times are existing
+  // slot boundaries.
+  for (const auto& t : tests) {
+    std::vector<std::size_t> candidates{0};
+    for (const auto& s : schedule.slots) {
+      candidates.push_back(s.start);
+      candidates.push_back(s.end);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    auto power_at = [&](std::size_t time) {
+      double p = 0.0;
+      for (std::size_t i = 0; i < schedule.slots.size(); ++i) {
+        const auto& s = schedule.slots[i];
+        if (s.start <= time && time < s.end) {
+          // Find the test's power by name (slots mirror tests 1:1).
+          for (const auto& tt : tests) {
+            if (tt.name == s.name) {
+              p += tt.power;
+              break;
+            }
+          }
+        }
+      }
+      return p;
+    };
+
+    for (std::size_t start : candidates) {
+      // Budget must hold at every boundary inside [start, start+cycles).
+      bool ok = true;
+      for (std::size_t probe : candidates) {
+        if (probe >= start && probe < start + t.cycles) {
+          if (power_at(probe) + t.power > power_budget + 1e-9) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && power_at(start) + t.power <= power_budget + 1e-9) {
+        schedule.slots.push_back({start, start + t.cycles, t.name});
+        break;
+      }
+    }
+  }
+  for (const auto& s : schedule.slots) {
+    schedule.makespan = std::max(schedule.makespan, s.end);
+  }
+  return schedule;
+}
+
+}  // namespace aidft::aichip

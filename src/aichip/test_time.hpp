@@ -1,0 +1,64 @@
+// Test-time accounting and test scheduling for multi-core SoCs.
+//
+// Cycle models follow standard scan-test arithmetic (load/unload overlap:
+// P patterns over chains of length L cost L + P*(L+1) cycles) with a fixed
+// tester channel budget C shared by whatever is being tested:
+//
+//  * flat       — the SoC is one scan domain: all N*cells flops divided
+//                 over C chains, so chains are N times longer;
+//  * sequential — cores tested one after another, each using all C channels;
+//  * broadcast  — identical cores driven in parallel from the same C
+//                 channels with on-chip response compare: one core's session
+//                 regardless of N — the tutorial's AI-chip headline.
+//
+// schedule_tests() additionally packs heterogeneous core tests under a
+// power ceiling (longest-processing-time greedy), the classic SoC test-
+// scheduling formulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aidft::aichip {
+
+struct CoreTestSpec {
+  std::size_t scan_cells = 0;  // flops per core instance
+  std::size_t patterns = 0;    // test patterns per core
+};
+
+struct TesterConfig {
+  std::size_t channels = 8;  // scan chains drivable in parallel
+};
+
+std::size_t scan_session_cycles(std::size_t patterns, std::size_t chain_length);
+
+std::size_t flat_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                             const TesterConfig& tester);
+std::size_t sequential_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                                   const TesterConfig& tester);
+std::size_t broadcast_test_cycles(const CoreTestSpec& core, std::size_t num_cores,
+                                  const TesterConfig& tester);
+
+/// One schedulable block test.
+struct ScheduledTest {
+  std::string name;
+  std::size_t cycles = 0;
+  double power = 0.0;  // normalised test power while running
+};
+
+struct TestSchedule {
+  struct Slot {
+    std::size_t start = 0;
+    std::size_t end = 0;
+    std::string name;
+  };
+  std::vector<Slot> slots;
+  std::size_t makespan = 0;
+};
+
+/// Packs tests so concurrently running tests never exceed `power_budget`.
+/// Greedy: longest test first, earliest feasible start.
+TestSchedule schedule_tests(std::vector<ScheduledTest> tests, double power_budget);
+
+}  // namespace aidft::aichip

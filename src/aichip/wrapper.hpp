@@ -1,0 +1,33 @@
+// IEEE-1500-style core test wrapper.
+//
+// Hierarchical SoC test requires each core to be testable in isolation:
+// the wrapper adds a boundary register so internal test needs no control of
+// the core's functional pins. Every functional input gets a wrapper input
+// cell (a DFF) plus a mux — wen=0 passes the functional pin, wen=1 drives
+// the core from the cell; every functional output gets a wrapper output
+// cell capturing it. All wrapper cells are ordinary DFFs, so scan planning,
+// ATPG, compression, and the broadcast machinery treat the wrapped core
+// like any other design. Pinning wen=1 and the functional inputs to a quiet
+// value via ATPG constraints (PodemOptions::constraints) then proves the
+// isolation property the tests check: the core is fully testable from the
+// wrapper alone.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft::aichip {
+
+struct WrappedCore {
+  Netlist netlist;
+  GateId wrapper_enable = kNoGate;     // "wen" input
+  std::vector<GateId> functional_inputs;  // original PIs, in core order
+  std::vector<GateId> input_cells;     // wrapper input DFFs, per core PI
+  std::vector<GateId> output_cells;    // wrapper output DFFs, per core PO
+};
+
+/// Wraps a finalized core.
+WrappedCore insert_core_wrapper(const Netlist& core);
+
+}  // namespace aidft::aichip

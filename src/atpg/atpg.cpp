@@ -1,0 +1,156 @@
+#include "atpg/atpg.hpp"
+
+#include <algorithm>
+
+#include "fsim/fault_sim.hpp"
+#include "netlist/scoap.hpp"
+
+namespace aidft {
+namespace {
+
+// Applies `patterns` (fully specified) to the still-undetected faults with
+// dropping; flips status to kDetected and returns how many fell.
+std::size_t drop_detected(FaultSimulator& fsim, const std::vector<Fault>& faults,
+                          std::vector<FaultStatus>& status,
+                          const std::vector<TestCube>& patterns) {
+  if (patterns.empty()) return 0;
+  std::size_t dropped = 0;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.load_batch(pack_patterns(patterns, base, count));
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (status[i] != FaultStatus::kUndetected) continue;
+      if (fsim.detect_mask(faults[i]) != 0) {
+        status[i] = FaultStatus::kDetected;
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+}  // namespace
+
+AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
+                          const AtpgOptions& options) {
+  AIDFT_REQUIRE(nl.finalized(), "generate_tests requires finalized netlist");
+  for (const Fault& f : faults) {
+    AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
+                  "generate_tests handles stuck-at fault lists");
+  }
+
+  AtpgResult result;
+  result.status.assign(faults.size(), FaultStatus::kUndetected);
+  Rng rng(options.seed);
+  FaultSimulator fsim(nl);
+  const std::size_t width = nl.combinational_inputs().size();
+
+  // ---- Phase 1: random patterns with dropping --------------------------
+  if (options.random_patterns > 0 && width > 0) {
+    std::vector<TestCube> random = random_patterns(width, options.random_patterns, rng);
+    // Keep only the effective patterns (those that detected something new)
+    // in the final set.
+    CampaignResult campaign = run_fault_campaign(nl, faults, random);
+    std::vector<bool> keep(random.size(), false);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const std::int64_t fd = campaign.first_detected_by[i];
+      if (fd >= 0) {
+        result.status[i] = FaultStatus::kDetected;
+        ++result.random_phase_detected;
+        keep[static_cast<std::size_t>(fd)] = true;
+      }
+    }
+    for (std::size_t p = 0; p < random.size(); ++p) {
+      if (keep[p]) result.patterns.push_back(std::move(random[p]));
+    }
+  }
+
+  // ---- Phase 2: deterministic with dynamic compaction ------------------
+  const ScoapResult scoap = compute_scoap(nl);
+  Podem podem(nl, &scoap);
+  SatAtpg sat(nl);
+  PodemOptions podem_opts;
+  podem_opts.backtrack_limit = options.podem_backtrack_limit;
+  SatAtpgOptions sat_opts{options.sat_conflict_limit};
+
+  TestCube open_cube;   // dynamic-compaction accumulator
+  bool open_valid = false;
+  std::vector<TestCube> pending;  // closed but not yet fault-simulated
+
+  auto flush_pending = [&](bool force) {
+    if (open_valid && (force || !pending.empty())) {
+      // close the open cube too when forcing
+    }
+    if (force && open_valid) {
+      pending.push_back(open_cube);
+      open_valid = false;
+    }
+    if (pending.empty()) return;
+    for (const auto& p : pending) result.cubes.push_back(p);
+    fill_cubes(pending, options.x_fill, rng);
+    drop_detected(fsim, faults, result.status, pending);
+    for (auto& p : pending) result.patterns.push_back(std::move(p));
+    pending.clear();
+  };
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (result.status[i] != FaultStatus::kUndetected) continue;
+
+    AtpgOutcome outcome;
+    switch (options.engine) {
+      case AtpgEngine::kPodem:
+        ++result.podem_calls;
+        outcome = podem.generate(faults[i], podem_opts);
+        break;
+      case AtpgEngine::kSat:
+        ++result.sat_calls;
+        outcome = sat.generate(faults[i], sat_opts);
+        break;
+      case AtpgEngine::kPodemThenSat:
+        ++result.podem_calls;
+        outcome = podem.generate(faults[i], podem_opts);
+        if (outcome.status == AtpgStatus::kAborted) {
+          ++result.sat_calls;
+          outcome = sat.generate(faults[i], sat_opts);
+        }
+        break;
+    }
+
+    switch (outcome.status) {
+      case AtpgStatus::kUntestable:
+        result.status[i] = FaultStatus::kUntestable;
+        break;
+      case AtpgStatus::kAborted:
+        result.status[i] = FaultStatus::kAborted;
+        break;
+      case AtpgStatus::kDetected: {
+        result.status[i] = FaultStatus::kDetected;
+        if (options.dynamic_compaction) {
+          if (open_valid && open_cube.compatible(outcome.cube)) {
+            open_cube.merge(outcome.cube);
+          } else {
+            if (open_valid) pending.push_back(open_cube);
+            open_cube = outcome.cube;
+            open_valid = true;
+          }
+          // Periodically close and grade so dropping prunes upcoming work.
+          if (pending.size() >= 32) flush_pending(false);
+        } else {
+          pending.push_back(outcome.cube);
+          if (pending.size() >= 32) flush_pending(false);
+        }
+        break;
+      }
+    }
+  }
+  flush_pending(true);
+
+  for (FaultStatus s : result.status) {
+    if (s == FaultStatus::kDetected) ++result.detected;
+    if (s == FaultStatus::kUntestable) ++result.untestable;
+    if (s == FaultStatus::kAborted) ++result.aborted;
+  }
+  return result;
+}
+
+}  // namespace aidft

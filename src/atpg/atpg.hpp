@@ -1,0 +1,80 @@
+// Top-level ATPG pipeline: the flow a commercial tool runs.
+//
+//   1. random phase — cheap bulk detection with fault dropping;
+//   2. deterministic phase — PODEM per remaining fault, with SAT-based
+//      fallback to close aborts and prove redundancy;
+//   3. dynamic compaction — each new cube merges into an open partial
+//      pattern; on close, the pattern is X-filled and fault-simulated so
+//      incidental detections drop future work.
+//
+// The result carries per-fault dispositions and the industry coverage
+// metrics: fault coverage (detected / all) and test coverage
+// (detected / (all - untestable)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/compaction.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/sat_atpg.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+enum class AtpgEngine : std::uint8_t {
+  kPodem,        // PODEM only; aborts stay aborted
+  kSat,          // SAT only
+  kPodemThenSat, // PODEM first, SAT to resolve aborts (default flow)
+};
+
+struct AtpgOptions {
+  std::size_t random_patterns = 256;
+  std::uint64_t podem_backtrack_limit = 10'000;
+  std::int64_t sat_conflict_limit = 200'000;
+  AtpgEngine engine = AtpgEngine::kPodemThenSat;
+  bool dynamic_compaction = true;
+  XFill x_fill = XFill::kRandom;
+  std::uint64_t seed = 1;
+};
+
+enum class FaultStatus : std::uint8_t {
+  kUndetected,  // never targeted successfully (only transient, or at end:
+                // targeted but pattern generation produced nothing usable)
+  kDetected,
+  kUntestable,
+  kAborted,
+};
+
+struct AtpgResult {
+  std::vector<TestCube> patterns;          // final, fully specified
+  /// Deterministic-phase cubes after dynamic compaction but BEFORE X-fill —
+  /// the input a compression codec wants (the X density is what it exploits).
+  std::vector<TestCube> cubes;
+  std::vector<FaultStatus> status;         // per input fault
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+  std::size_t random_phase_detected = 0;   // subset of `detected`
+  std::uint64_t podem_calls = 0;
+  std::uint64_t sat_calls = 0;
+
+  std::size_t total_faults() const { return status.size(); }
+  double fault_coverage() const {
+    return status.empty() ? 1.0
+                          : static_cast<double>(detected) /
+                                static_cast<double>(status.size());
+  }
+  double test_coverage() const {
+    const std::size_t denom = status.size() - untestable;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(detected) / static_cast<double>(denom);
+  }
+};
+
+/// Runs the full pipeline for stuck-at `faults` on a finalized netlist.
+AtpgResult generate_tests(const Netlist& netlist, const std::vector<Fault>& faults,
+                          const AtpgOptions& options = {});
+
+}  // namespace aidft

@@ -1,0 +1,32 @@
+#include "atpg/compaction.hpp"
+
+namespace aidft {
+
+std::vector<TestCube> compact_static(const std::vector<TestCube>& cubes) {
+  std::vector<TestCube> out;
+  out.reserve(cubes.size());
+  for (const TestCube& c : cubes) {
+    bool merged = false;
+    for (TestCube& slot : out) {
+      if (slot.compatible(c)) {
+        slot.merge(c);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(c);
+  }
+  return out;
+}
+
+void fill_cubes(std::vector<TestCube>& cubes, XFill fill, Rng& rng) {
+  for (TestCube& c : cubes) {
+    switch (fill) {
+      case XFill::kZero: c.constant_fill(Val3::kZero); break;
+      case XFill::kOne: c.constant_fill(Val3::kOne); break;
+      case XFill::kRandom: c.random_fill(rng); break;
+    }
+  }
+}
+
+}  // namespace aidft

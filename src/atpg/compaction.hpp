@@ -1,0 +1,30 @@
+// Test-set compaction.
+//
+// Static compaction merges compatible cubes after generation (order-greedy,
+// the classic baseline). Dynamic compaction happens inside the ATPG pipeline
+// by merging each new cube into an open partial pattern before X-fill.
+#pragma once
+
+#include <vector>
+
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+/// Greedy static compaction: repeatedly merges each cube into the first
+/// compatible accumulated cube. Returns the reduced cube set. Order-
+/// sensitive (classic first-fit); callers wanting determinism should pass a
+/// deterministic order.
+std::vector<TestCube> compact_static(const std::vector<TestCube>& cubes);
+
+/// X-fill strategies for don't-care bits of final patterns.
+enum class XFill {
+  kZero,    // fill with 0 (low-power shift)
+  kOne,     // fill with 1
+  kRandom,  // random fill (best incidental detection)
+};
+
+/// Fills every X in `cubes` according to `fill`.
+void fill_cubes(std::vector<TestCube>& cubes, XFill fill, Rng& rng);
+
+}  // namespace aidft

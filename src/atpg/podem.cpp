@@ -1,0 +1,495 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aidft {
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+Val3 bool_to_val(bool b) { return b ? Val3::kOne : Val3::kZero; }
+
+bool both_known_diff(Val3 a, Val3 b) {
+  return is_known(a) && is_known(b) && a != b;
+}
+
+// Non-controlling value used as the side-input objective of a frontier gate.
+Val3 noncontrolling(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return Val3::kOne;
+    case GateType::kOr:
+    case GateType::kNor:
+      return Val3::kZero;
+    default:
+      return Val3::kZero;  // XOR family and MUX: any known value can work
+  }
+}
+
+}  // namespace
+
+Podem::Podem(const Netlist& netlist, const ScoapResult* scoap)
+    : nl_(&netlist), scoap_(scoap) {
+  AIDFT_REQUIRE(netlist.finalized(), "Podem requires finalized netlist");
+  comb_inputs_ = netlist.combinational_inputs();
+  input_index_.assign(netlist.num_gates(), kNpos);
+  for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+    input_index_[comb_inputs_[i]] = i;
+  }
+  observed_flag_.assign(netlist.num_gates(), false);
+  for (GateId op : netlist.observe_points()) {
+    observe_gates_.push_back(netlist.observed_gate(op));
+    observed_flag_[observe_gates_.back()] = true;
+  }
+  assignment_.assign(comb_inputs_.size(), Val3::kX);
+  good_.assign(netlist.num_gates(), Val3::kX);
+  faulty_.assign(netlist.num_gates(), Val3::kX);
+  in_cone_.assign(netlist.num_gates(), false);
+}
+
+GateId Podem::fault_line(const Fault& f) const {
+  return f.is_stem() ? f.gate : nl_->gate(f.gate).fanin[f.pin];
+}
+
+void Podem::compute_cone(const Fault& fault) {
+  std::fill(in_cone_.begin(), in_cone_.end(), false);
+  cone_topo_.clear();
+  // A DFF D-pin fault only affects the captured value — nothing propagates
+  // through combinational logic this cycle, so the cone is empty.
+  if (!fault.is_stem() && nl_->type(fault.gate) == GateType::kDff) return;
+
+  std::vector<GateId> stack{fault.gate};
+  in_cone_[fault.gate] = true;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (GateId s : nl_->gate(g).fanout) {
+      if (is_state_element(nl_->type(s))) continue;  // stops at capture
+      if (!in_cone_[s]) {
+        in_cone_[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  for (GateId g : nl_->topo_order()) {
+    if (in_cone_[g]) cone_topo_.push_back(g);
+  }
+}
+
+void Podem::imply(const Fault& fault) {
+  ++implications_;
+  // Good machine: full 3-valued pass.
+  for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+    good_[comb_inputs_[i]] = assignment_[i];
+  }
+  for (GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    good_[id] = eval_gate3(g.type, g.fanin.size(),
+                           [&](std::size_t k) { return good_[g.fanin[k]]; });
+  }
+  // Faulty machine: only the cone differs.
+  faulty_ = good_;
+  const Val3 stuck = bool_to_val(fault.stuck_at_one());
+  for (GateId id : cone_topo_) {
+    const Gate& g = nl_->gate(id);
+    if (id == fault.gate) {
+      if (fault.is_stem()) {
+        faulty_[id] = stuck;
+      } else {
+        faulty_[id] = eval_gate3(g.type, g.fanin.size(), [&](std::size_t k) {
+          return k == fault.pin ? stuck : faulty_[g.fanin[k]];
+        });
+      }
+      continue;
+    }
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    faulty_[id] = eval_gate3(g.type, g.fanin.size(),
+                             [&](std::size_t k) { return faulty_[g.fanin[k]]; });
+  }
+}
+
+bool Podem::fault_activated(const Fault& fault) const {
+  const Val3 line = good_[fault_line(fault)];
+  return is_known(line) && line != bool_to_val(fault.stuck_at_one());
+}
+
+bool Podem::detected() const {
+  for (GateId og : observe_gates_) {
+    if (both_known_diff(good_[og], faulty_[og])) return true;
+  }
+  return false;
+}
+
+bool Podem::x_path_exists() const {
+  // From every D-frontier gate, search forward through cone gates whose
+  // output is not yet both-known toward an observe gate.
+  if (dfrontier_.empty()) return false;
+  std::vector<bool> visited(nl_->num_gates(), false);
+  std::vector<GateId> stack = dfrontier_;
+  for (GateId g : stack) visited[g] = true;
+  auto is_open = [&](GateId g) {
+    return in_cone_[g] && (!is_known(good_[g]) || !is_known(faulty_[g]));
+  };
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (observed_flag_[g]) return true;
+    for (GateId s : nl_->gate(g).fanout) {
+      if (is_state_element(nl_->type(s))) {
+        // Fault effect reaching a D pin is captured and observed.
+        return true;
+      }
+      if (!visited[s] && is_open(s)) {
+        visited[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
+                           Val3& obj_val) const {
+  const GateId line = fault_line(fault);
+  if (!is_known(good_[line])) {
+    obj_gate = line;
+    obj_val = bool_to_val(!fault.stuck_at_one());
+    return true;
+  }
+  // Advance the D-frontier: pick the frontier gate with the best (lowest)
+  // observability and target a good-machine-X input at its non-controlling
+  // value.
+  GateId best = kNoGate;
+  std::uint32_t best_score = std::numeric_limits<std::uint32_t>::max();
+  for (GateId g : dfrontier_) {
+    const std::uint32_t score =
+        scoap_ ? scoap_->co[g] : (nl_->num_levels() - nl_->gate(g).level);
+    if (score < best_score) {
+      // Must have a good-X input we can steer.
+      bool has_x = false;
+      for (GateId f : nl_->gate(g).fanin) {
+        if (!is_known(good_[f])) {
+          has_x = true;
+          break;
+        }
+      }
+      if (!has_x) continue;
+      best = g;
+      best_score = score;
+    }
+  }
+  if (best == kNoGate) return false;
+  const Gate& g = nl_->gate(best);
+  // For MUX, route the differing data input through the select.
+  if (g.type == GateType::kMux && !is_known(good_[g.fanin[0]])) {
+    obj_gate = g.fanin[0];
+    obj_val = both_known_diff(good_[g.fanin[2]], faulty_[g.fanin[2]])
+                  ? Val3::kOne
+                  : Val3::kZero;
+    return true;
+  }
+  for (GateId f : g.fanin) {
+    if (!is_known(good_[f])) {
+      obj_gate = f;
+      obj_val = noncontrolling(g.type);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
+  AIDFT_ASSERT(is_known(val), "backtrace objective must be known");
+  GateId g = gate;
+  Val3 v = val;
+  for (;;) {
+    if (input_index_[g] != kNpos && !is_known(good_[g])) {
+      return {input_index_[g], v};
+    }
+    const Gate& gg = nl_->gate(g);
+    AIDFT_ASSERT(!is_known(good_[g]), "backtrace through a justified line");
+    auto cc = [&](GateId f, Val3 want) -> std::uint32_t {
+      if (!scoap_) return nl_->gate(f).level;
+      return want == Val3::kOne ? scoap_->cc1[f] : scoap_->cc0[f];
+    };
+    auto pick_x_input = [&](Val3 want, bool hardest) -> GateId {
+      GateId best = kNoGate;
+      std::uint32_t best_cost = hardest ? 0 : std::numeric_limits<std::uint32_t>::max();
+      for (GateId f : gg.fanin) {
+        if (is_known(good_[f])) continue;
+        const std::uint32_t c = cc(f, want);
+        const bool better = hardest ? (best == kNoGate || c >= best_cost)
+                                    : (best == kNoGate || c < best_cost);
+        if (better) {
+          best = f;
+          best_cost = c;
+        }
+      }
+      AIDFT_ASSERT(best != kNoGate, "X output gate must have an X input");
+      return best;
+    };
+    switch (gg.type) {
+      case GateType::kBuf:
+      case GateType::kOutput:
+        g = gg.fanin[0];
+        break;
+      case GateType::kNot:
+        g = gg.fanin[0];
+        v = not3(v);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        const Val3 out_for_and = gg.type == GateType::kAnd ? v : not3(v);
+        if (out_for_and == Val3::kOne) {
+          // All inputs must be 1: attack the hardest first.
+          g = pick_x_input(Val3::kOne, /*hardest=*/true);
+          v = Val3::kOne;
+        } else {
+          g = pick_x_input(Val3::kZero, /*hardest=*/false);
+          v = Val3::kZero;
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const Val3 out_for_or = gg.type == GateType::kOr ? v : not3(v);
+        if (out_for_or == Val3::kZero) {
+          g = pick_x_input(Val3::kZero, /*hardest=*/true);
+          v = Val3::kZero;
+        } else {
+          g = pick_x_input(Val3::kOne, /*hardest=*/false);
+          v = Val3::kOne;
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Choose one X input; other X inputs will be driven toward 0 by
+        // later objectives, so aim for parity assuming they become 0.
+        Val3 parity = gg.type == GateType::kXnor ? Val3::kOne : Val3::kZero;
+        GateId x_pick = kNoGate;
+        for (GateId f : gg.fanin) {
+          if (is_known(good_[f])) {
+            parity = xor3(parity, good_[f]);
+          } else if (x_pick == kNoGate) {
+            x_pick = f;
+          }
+        }
+        AIDFT_ASSERT(x_pick != kNoGate, "XOR with X output has an X input");
+        g = x_pick;
+        v = xor3(v, parity);
+        break;
+      }
+      case GateType::kMux: {
+        const GateId sel = gg.fanin[0], d0 = gg.fanin[1], d1 = gg.fanin[2];
+        if (is_known(good_[sel])) {
+          g = good_[sel] == Val3::kZero ? d0 : d1;
+          // v unchanged
+        } else if (is_known(good_[d0]) && good_[d0] == v) {
+          g = sel;
+          v = Val3::kZero;
+        } else if (is_known(good_[d1]) && good_[d1] == v) {
+          g = sel;
+          v = Val3::kOne;
+        } else if (!is_known(good_[d0])) {
+          g = d0;  // make d0 the value, a later objective will set sel=0
+        } else {
+          g = d1;
+        }
+        break;
+      }
+      case GateType::kInput:
+      case GateType::kDff:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        // Sources are handled by the loop head; constants are never X.
+        AIDFT_ASSERT(false, "backtrace reached an unassignable source");
+        return {kNpos, Val3::kX};
+    }
+  }
+}
+
+namespace {
+// Seeds the assignment with the options' pin constraints.
+void apply_constraints(const Netlist& nl,
+                       const std::vector<std::size_t>& input_index,
+                       const PodemOptions& options,
+                       std::vector<Val3>& assignment) {
+  std::fill(assignment.begin(), assignment.end(), Val3::kX);
+  for (const auto& [gate, value] : options.constraints) {
+    AIDFT_REQUIRE(gate < nl.num_gates() &&
+                      input_index[gate] != std::numeric_limits<std::size_t>::max(),
+                  "constraint target is not a combinational input");
+    AIDFT_REQUIRE(is_known(value), "constraint value must be 0 or 1");
+    assignment[input_index[gate]] = value;
+  }
+}
+}  // namespace
+
+AtpgOutcome Podem::justify(GateId line, Val3 value, const PodemOptions& options) {
+  AIDFT_REQUIRE(line < nl_->num_gates(), "justify: gate out of range");
+  AIDFT_REQUIRE(is_known(value), "justify: value must be 0 or 1");
+  AtpgOutcome out;
+  implications_ = 0;
+  apply_constraints(*nl_, input_index_, options, assignment_);
+
+  // Good-machine-only implication (no fault, empty cone).
+  auto imply_good = [&] {
+    ++implications_;
+    for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+      good_[comb_inputs_[i]] = assignment_[i];
+    }
+    for (GateId id : nl_->topo_order()) {
+      const Gate& g = nl_->gate(id);
+      if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+      good_[id] = eval_gate3(g.type, g.fanin.size(),
+                             [&](std::size_t k) { return good_[g.fanin[k]]; });
+    }
+  };
+  imply_good();
+
+  std::vector<Decision> decisions;
+  for (;;) {
+    if (good_[line] == value) {
+      out.status = AtpgStatus::kDetected;
+      out.cube = TestCube(comb_inputs_.size());
+      out.cube.bits = assignment_;
+      out.implications = implications_;
+      return out;
+    }
+    if (is_known(good_[line])) {
+      // Wrong value under this assignment: backtrack.
+    } else {
+      const auto [idx, val] = backtrace(line, value);
+      AIDFT_ASSERT(idx != std::numeric_limits<std::size_t>::max(),
+                   "justify backtrace failed");
+      decisions.push_back(Decision{idx, false});
+      assignment_[idx] = val;
+      imply_good();
+      continue;
+    }
+    for (;;) {
+      if (decisions.empty()) {
+        out.status = AtpgStatus::kUntestable;
+        out.implications = implications_;
+        return out;
+      }
+      Decision& d = decisions.back();
+      if (d.flipped) {
+        assignment_[d.input_idx] = Val3::kX;
+        decisions.pop_back();
+        continue;
+      }
+      d.flipped = true;
+      assignment_[d.input_idx] = not3(assignment_[d.input_idx]);
+      ++out.backtracks;
+      break;
+    }
+    if (out.backtracks > options.backtrack_limit) {
+      out.status = AtpgStatus::kAborted;
+      out.implications = implications_;
+      return out;
+    }
+    imply_good();
+  }
+}
+
+AtpgOutcome Podem::generate(const Fault& fault, const PodemOptions& options) {
+  AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
+                "PODEM generates stuck-at tests (map transition faults first)");
+  AtpgOutcome out;
+  implications_ = 0;
+  compute_cone(fault);
+  apply_constraints(*nl_, input_index_, options, assignment_);
+  imply(fault);
+
+  // A DFF D-pin fault is detected by mere activation (captured directly).
+  const bool capture_only =
+      !fault.is_stem() && nl_->type(fault.gate) == GateType::kDff;
+
+  std::vector<Decision> decisions;
+  for (;;) {
+    const bool is_detected = capture_only ? fault_activated(fault) : detected();
+    if (is_detected) {
+      out.status = AtpgStatus::kDetected;
+      out.cube = TestCube(comb_inputs_.size());
+      out.cube.bits = assignment_;
+      out.implications = implications_;
+      return out;
+    }
+
+    // Feasibility of the current partial assignment.
+    bool feasible = true;
+    const Val3 line_val = good_[fault_line(fault)];
+    const Val3 stuck = bool_to_val(fault.stuck_at_one());
+    if (is_known(line_val) && line_val == stuck) {
+      feasible = false;  // can never activate under this assignment
+    } else if (!capture_only && fault_activated(fault)) {
+      // Build D-frontier and check an X-path remains.
+      dfrontier_.clear();
+      for (GateId g : cone_topo_) {
+        if (both_known_diff(good_[g], faulty_[g])) continue;
+        if (is_known(good_[g]) && is_known(faulty_[g])) continue;  // masked
+        // A branch-fault site creates the difference *inside* the gate (the
+        // forced pin), so it belongs to the frontier while its output is
+        // still undetermined even though no fanin differs.
+        if (!fault.is_stem() && g == fault.gate) {
+          dfrontier_.push_back(g);
+          continue;
+        }
+        for (GateId f : nl_->gate(g).fanin) {
+          if (both_known_diff(good_[f], faulty_[f])) {
+            dfrontier_.push_back(g);
+            break;
+          }
+        }
+      }
+      if (dfrontier_.empty() || !x_path_exists()) feasible = false;
+    }
+
+    GateId obj_gate = kNoGate;
+    Val3 obj_val = Val3::kX;
+    if (feasible) {
+      feasible = pick_objective(fault, obj_gate, obj_val);
+    }
+
+    if (feasible) {
+      const auto [idx, val] = backtrace(obj_gate, obj_val);
+      AIDFT_ASSERT(idx != kNpos, "backtrace failed to find an input");
+      decisions.push_back(Decision{idx, false});
+      assignment_[idx] = val;
+      imply(fault);
+      continue;
+    }
+
+    // Dead end: flip the most recent unflipped decision.
+    for (;;) {
+      if (decisions.empty()) {
+        out.status = AtpgStatus::kUntestable;
+        out.implications = implications_;
+        return out;
+      }
+      Decision& d = decisions.back();
+      if (d.flipped) {
+        assignment_[d.input_idx] = Val3::kX;
+        decisions.pop_back();
+        continue;
+      }
+      d.flipped = true;
+      assignment_[d.input_idx] = not3(assignment_[d.input_idx]);
+      ++out.backtracks;
+      break;
+    }
+    if (out.backtracks > options.backtrack_limit) {
+      out.status = AtpgStatus::kAborted;
+      out.implications = implications_;
+      return out;
+    }
+    imply(fault);
+  }
+}
+
+}  // namespace aidft

@@ -1,0 +1,94 @@
+// PODEM (Path-Oriented DEcision Making) test generation (Goel 1981).
+//
+// Search is over primary-input assignments only: an *objective* (line,
+// value) is chosen — first to activate the fault, then to advance the
+// D-frontier — and *backtraced* through the circuit to an unassigned input,
+// guided by SCOAP controllabilities. Implication runs two 3-valued machines
+// (good, faulty-within-cone); detection is a both-known, differing pair at
+// an observe point. Completeness: objectives only steer the search; the
+// decision tree enumerates input assignments, so exhausting it proves the
+// fault untestable, and exceeding the backtrack budget yields kAborted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/scoap.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+enum class AtpgStatus : std::uint8_t {
+  kDetected,    // cube found
+  kUntestable,  // proven: no input assignment detects the fault
+  kAborted,     // budget exceeded before either proof
+};
+
+struct AtpgOutcome {
+  AtpgStatus status = AtpgStatus::kAborted;
+  TestCube cube;  // valid when status == kDetected (X = don't care)
+  std::uint64_t backtracks = 0;
+  std::uint64_t implications = 0;
+};
+
+struct PodemOptions {
+  std::uint64_t backtrack_limit = 10'000;
+  /// Pin constraints: combinational inputs (PIs or flop pseudo-inputs, by
+  /// gate id) held at fixed values throughout the search. Used e.g. to
+  /// model a test mode (wrapper enable held at 1, functional inputs held
+  /// quiet). A fault unprovable under the constraints is reported
+  /// kUntestable — untestable *in this mode*.
+  std::vector<std::pair<GateId, Val3>> constraints;
+};
+
+class Podem {
+ public:
+  /// `scoap` may be null (falls back to level-based guidance); if given it
+  /// must outlive the Podem object, as must `netlist`.
+  explicit Podem(const Netlist& netlist, const ScoapResult* scoap = nullptr);
+
+  AtpgOutcome generate(const Fault& fault, const PodemOptions& options = {});
+
+  /// Line justification: finds an input cube that sets gate `line` to
+  /// `value` (no fault, no propagation — used e.g. for the launch vector of
+  /// a transition test). kDetected = cube found; kUntestable = value proven
+  /// unreachable; kAborted = budget exceeded.
+  AtpgOutcome justify(GateId line, Val3 value, const PodemOptions& options = {});
+
+ private:
+  struct Decision {
+    std::size_t input_idx;  // index into combinational inputs
+    bool flipped;           // both phases tried?
+  };
+
+  void compute_cone(const Fault& fault);
+  void imply(const Fault& fault);
+  bool fault_activated(const Fault& fault) const;
+  GateId fault_line(const Fault& fault) const;
+  bool detected() const;
+  /// True if some D-frontier gate still has an X-path to an observe point.
+  bool x_path_exists() const;
+  /// Chooses the next objective; returns false if none (dead end).
+  bool pick_objective(const Fault& fault, GateId& obj_gate, Val3& obj_val) const;
+  /// Walks an objective back to an unassigned input; returns (input index,
+  /// value to assign).
+  std::pair<std::size_t, Val3> backtrace(GateId gate, Val3 val) const;
+
+  const Netlist* nl_;
+  const ScoapResult* scoap_;
+  std::vector<GateId> comb_inputs_;
+  std::vector<std::size_t> input_index_;  // GateId -> comb input idx (or npos)
+  std::vector<GateId> observe_gates_;     // observed_gate() of each point
+  std::vector<bool> observed_flag_;       // per gate: is an observe gate
+  std::vector<Val3> assignment_;          // per comb input
+  std::vector<Val3> good_;
+  std::vector<Val3> faulty_;
+  std::vector<bool> in_cone_;
+  std::vector<GateId> cone_topo_;  // cone gates in topological order
+  mutable std::vector<GateId> dfrontier_;  // scratch
+  std::uint64_t implications_ = 0;
+};
+
+}  // namespace aidft

@@ -1,0 +1,139 @@
+#include "atpg/sat_atpg.hpp"
+
+#include <vector>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace aidft {
+
+SatAtpg::SatAtpg(const Netlist& netlist) : nl_(&netlist) {
+  AIDFT_REQUIRE(netlist.finalized(), "SatAtpg requires finalized netlist");
+  comb_inputs_ = netlist.combinational_inputs();
+}
+
+AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options) {
+  AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
+                "SAT ATPG generates stuck-at tests");
+  const Netlist& nl = *nl_;
+  AtpgOutcome out;
+
+  SatSolver solver;
+  CircuitCnf good(nl, solver);
+
+  auto finish_model = [&]() {
+    out.status = AtpgStatus::kDetected;
+    out.cube = TestCube(comb_inputs_.size());
+    for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+      const Lit l = good.lit(comb_inputs_[i]);
+      const bool v = solver.model_value(l.var()) != l.negated();
+      out.cube.bits[i] = v ? Val3::kOne : Val3::kZero;
+    }
+  };
+
+  // DFF D-pin faults: captured difference == activation.
+  if (!fault.is_stem() && nl.type(fault.gate) == GateType::kDff) {
+    const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
+    const Lit want = fault.stuck_at_one() ? ~good.lit(driver) : good.lit(driver);
+    solver.add_unit(want);
+    const SatResult res = solver.solve({}, options.conflict_limit);
+    if (res == SatResult::kSat) {
+      finish_model();
+    } else {
+      out.status = res == SatResult::kUnsat ? AtpgStatus::kUntestable
+                                            : AtpgStatus::kAborted;
+    }
+    return out;
+  }
+
+  // Fault output cone (difference can only live here).
+  std::vector<bool> in_cone(nl.num_gates(), false);
+  {
+    std::vector<GateId> stack{fault.gate};
+    in_cone[fault.gate] = true;
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId s : nl.gate(g).fanout) {
+        if (is_state_element(nl.type(s))) continue;
+        if (!in_cone[s]) {
+          in_cone[s] = true;
+          stack.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Faulty copy of the cone.
+  std::vector<Lit> flit(nl.num_gates(), Lit{});
+  for (GateId id : nl.topo_order()) {
+    if (!in_cone[id]) continue;
+    const Gate& g = nl.gate(id);
+    if (id == fault.gate && fault.is_stem()) {
+      // Site output pinned to the stuck value; no function clauses.
+      const Lit v = pos_lit(solver.new_var());
+      solver.add_unit(fault.stuck_at_one() ? v : ~v);
+      flit[id] = v;
+      continue;
+    }
+    std::vector<Lit> fin;
+    fin.reserve(g.fanin.size());
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      const GateId f = g.fanin[k];
+      if (id == fault.gate && k == fault.pin) {
+        // Forced pin: a fresh variable pinned to the stuck value.
+        const Lit c = pos_lit(solver.new_var());
+        solver.add_unit(fault.stuck_at_one() ? c : ~c);
+        fin.push_back(c);
+      } else {
+        fin.push_back(in_cone[f] ? flit[f] : good.lit(f));
+      }
+    }
+    switch (g.type) {
+      case GateType::kBuf:
+      case GateType::kOutput:
+        flit[id] = fin[0];
+        break;
+      case GateType::kNot:
+        flit[id] = ~fin[0];
+        break;
+      default: {
+        const Lit v = pos_lit(solver.new_var());
+        add_gate_clauses(solver, g.type, v, fin);
+        flit[id] = v;
+        break;
+      }
+    }
+  }
+
+  // Detection: at least one observed gate inside the cone differs.
+  std::vector<Lit> diffs;
+  for (GateId op : nl.observe_points()) {
+    const GateId og = nl.observed_gate(op);
+    if (!in_cone[og]) continue;
+    const Lit d = pos_lit(solver.new_var());
+    // d <-> (good xor faulty)
+    const Lit a = good.lit(og), b = flit[og];
+    solver.add_ternary(~d, a, b);
+    solver.add_ternary(~d, ~a, ~b);
+    solver.add_ternary(d, ~a, b);
+    solver.add_ternary(d, a, ~b);
+    diffs.push_back(d);
+  }
+  if (diffs.empty()) {
+    out.status = AtpgStatus::kUntestable;  // no observable path exists at all
+    return out;
+  }
+  solver.add_clause(std::move(diffs));
+
+  const SatResult res = solver.solve({}, options.conflict_limit);
+  if (res == SatResult::kSat) {
+    finish_model();
+  } else {
+    out.status = res == SatResult::kUnsat ? AtpgStatus::kUntestable
+                                          : AtpgStatus::kAborted;
+  }
+  return out;
+}
+
+}  // namespace aidft

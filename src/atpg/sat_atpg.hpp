@@ -1,0 +1,37 @@
+// SAT-based ATPG (Larrabee-style miter encoding).
+//
+// Encodes the good machine once per fault-independent CNF plus a faulty copy
+// of the fault's output cone, asserts "some observe point differs", and asks
+// the CDCL solver. SAT ⇒ the model's input assignment is a test; UNSAT ⇒ the
+// fault is provably untestable (combinationally redundant); hitting the
+// conflict limit ⇒ abort. This is the engine that closes the aborts PODEM
+// leaves behind (benchmark E2).
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/podem.hpp"  // AtpgOutcome/AtpgStatus
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+struct SatAtpgOptions {
+  std::int64_t conflict_limit = 200'000;  // <0 = unlimited
+};
+
+class SatAtpg {
+ public:
+  explicit SatAtpg(const Netlist& netlist);
+
+  /// Generates a test (fully specified cube) for a stuck-at fault, proves it
+  /// untestable, or aborts at the conflict limit. A fresh solver instance is
+  /// built per call; the netlist structure is shared.
+  AtpgOutcome generate(const Fault& fault, const SatAtpgOptions& options = {});
+
+ private:
+  const Netlist* nl_;
+  std::vector<GateId> comb_inputs_;
+};
+
+}  // namespace aidft

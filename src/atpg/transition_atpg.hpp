@@ -1,0 +1,54 @@
+// Transition-delay-fault ATPG (enhanced-scan two-vector tests).
+//
+// A slow-to-rise fault at line L needs a pattern pair: a launch vector V1
+// setting L to 0, then a capture vector V2 that detects L stuck-at-0 (i.e.
+// sets L to 1 and propagates the late value to an observe point). With
+// enhanced scan both vectors are loaded independently, so V1 is a pure line
+// justification and V2 a pure stuck-at test — both served by PODEM. The
+// result interleaves [V1a, V2a, V1b, V2b, ...] so the standard pattern-pair
+// fault-simulation campaign grades it directly.
+#pragma once
+
+#include <vector>
+
+#include "atpg/atpg.hpp"  // FaultStatus
+#include "atpg/podem.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+struct TransitionAtpgOptions {
+  PodemOptions podem;
+  bool sat_fallback = true;  // resolve PODEM aborts with the SAT engines
+  std::int64_t sat_conflict_limit = 200'000;
+  std::uint64_t seed = 5;  // X-fill of the emitted pairs
+};
+
+struct TransitionAtpgResult {
+  /// Interleaved launch/capture patterns, fully specified.
+  std::vector<TestCube> patterns;
+  std::vector<FaultStatus> status;  // per input fault
+  std::size_t detected = 0;
+  std::size_t untestable = 0;  // no SA test exists OR line can't reach init
+  std::size_t aborted = 0;
+
+  double fault_coverage() const {
+    return status.empty() ? 1.0
+                          : static_cast<double>(detected) /
+                                static_cast<double>(status.size());
+  }
+  double test_coverage() const {
+    const std::size_t denom = status.size() - untestable;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(detected) / static_cast<double>(denom);
+  }
+};
+
+/// Generates pattern pairs for a transition-fault list (kind ==
+/// kTransition), with pair-wise fault dropping via the transition campaign.
+TransitionAtpgResult generate_transition_tests(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const TransitionAtpgOptions& options = {});
+
+}  // namespace aidft

@@ -1,0 +1,91 @@
+#include "bench_circuits/arith.hpp"
+
+namespace aidft::circuits {
+
+std::pair<GateId, GateId> full_adder(Netlist& nl, GateId a, GateId b,
+                                     GateId cin) {
+  const GateId axb = nl.add_gate(GateType::kXor, {a, b});
+  if (cin == kNoGate) {
+    return {axb, nl.add_gate(GateType::kAnd, {a, b})};
+  }
+  const GateId sum = nl.add_gate(GateType::kXor, {axb, cin});
+  const GateId c1 = nl.add_gate(GateType::kAnd, {a, b});
+  const GateId c2 = nl.add_gate(GateType::kAnd, {axb, cin});
+  return {sum, nl.add_gate(GateType::kOr, {c1, c2})};
+}
+
+std::vector<GateId> ripple_adder(Netlist& nl, const std::vector<GateId>& a,
+                                 const std::vector<GateId>& b, GateId cin) {
+  AIDFT_REQUIRE(a.size() == b.size() && !a.empty(),
+                "ripple_adder: equal non-zero widths required");
+  std::vector<GateId> out;
+  out.reserve(a.size() + 1);
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(nl, a[i], b[i], carry);
+    out.push_back(s);
+    carry = c;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+std::vector<GateId> array_multiplier(Netlist& nl, const std::vector<GateId>& a,
+                                     const std::vector<GateId>& b) {
+  const std::size_t n = a.size();
+  AIDFT_REQUIRE(n == b.size() && n >= 2, "array_multiplier: widths >= 2");
+  auto and2 = [&](GateId x, GateId y) {
+    return nl.add_gate(GateType::kAnd, {x, y});
+  };
+  std::vector<GateId> prod(2 * n, kNoGate);
+  // row[j] holds bit (i-1)+j of the running sum when processing row i; the
+  // row's ripple carry becomes the next row's top bit.
+  std::vector<GateId> row(n);
+  for (std::size_t j = 0; j < n; ++j) row[j] = and2(a[j], b[0]);
+  prod[0] = row[0];
+  GateId top = kNoGate;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<GateId> pp(n);
+    for (std::size_t j = 0; j < n; ++j) pp[j] = and2(a[j], b[i]);
+    std::vector<GateId> next(n);
+    GateId carry = kNoGate;
+    for (std::size_t j = 0; j < n; ++j) {
+      const GateId upper = (j + 1 < n) ? row[j + 1] : top;
+      if (upper == kNoGate && carry == kNoGate) {
+        next[j] = pp[j];
+      } else if (upper == kNoGate || carry == kNoGate) {
+        auto [s, c] = full_adder(nl, pp[j], upper == kNoGate ? carry : upper,
+                                 kNoGate);
+        next[j] = s;
+        carry = c;
+      } else {
+        auto [s, c] = full_adder(nl, pp[j], upper, carry);
+        next[j] = s;
+        carry = c;
+      }
+    }
+    prod[i] = next[0];
+    row = std::move(next);
+    top = carry;
+  }
+  for (std::size_t j = 1; j < n; ++j) prod[n - 1 + j] = row[j];
+  AIDFT_ASSERT(top != kNoGate, "multiplier top carry missing");
+  prod[2 * n - 1] = top;
+  return prod;
+}
+
+GateId reduce_tree(Netlist& nl, GateType t, std::vector<GateId> xs) {
+  AIDFT_REQUIRE(!xs.empty(), "reduce_tree of zero inputs");
+  while (xs.size() > 1) {
+    std::vector<GateId> next;
+    next.reserve(xs.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      next.push_back(nl.add_gate(t, {xs[i], xs[i + 1]}));
+    }
+    if (xs.size() % 2 == 1) next.push_back(xs.back());
+    xs = std::move(next);
+  }
+  return xs[0];
+}
+
+}  // namespace aidft::circuits

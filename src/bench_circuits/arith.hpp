@@ -1,0 +1,31 @@
+// Reusable gate-level arithmetic builders.
+//
+// These operate on an open (not yet finalized) Netlist and existing operand
+// gate ids, so composite generators (MAC PEs, systolic arrays, ALUs) can
+// instantiate datapaths wherever they need them.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft::circuits {
+
+/// sum, carry of a full adder (cin may be kNoGate for a half adder).
+std::pair<GateId, GateId> full_adder(Netlist& nl, GateId a, GateId b,
+                                     GateId cin);
+
+/// Ripple-carry adder; returns n sum bits followed by carry-out.
+/// `cin` may be kNoGate. Operands must have equal width.
+std::vector<GateId> ripple_adder(Netlist& nl, const std::vector<GateId>& a,
+                                 const std::vector<GateId>& b, GateId cin);
+
+/// Carry-save array multiplier; returns 2n product bits (LSB first).
+std::vector<GateId> array_multiplier(Netlist& nl, const std::vector<GateId>& a,
+                                     const std::vector<GateId>& b);
+
+/// Balanced tree of 2-input gates of type `t` over `xs` (non-empty).
+GateId reduce_tree(Netlist& nl, GateType t, std::vector<GateId> xs);
+
+}  // namespace aidft::circuits

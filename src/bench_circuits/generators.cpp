@@ -1,0 +1,485 @@
+#include "bench_circuits/generators.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace aidft::circuits {
+namespace {
+
+std::string idx(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+
+// Thin sugar over Netlist for two-input gates and adder cells.
+struct Builder {
+  Netlist nl;
+  explicit Builder(std::string name) : nl(std::move(name)) {}
+
+  GateId in(const std::string& name) { return nl.add_input(name); }
+  GateId g2(GateType t, GateId a, GateId b, std::string name = {}) {
+    return nl.add_gate(t, {a, b}, std::move(name));
+  }
+  GateId and2(GateId a, GateId b, std::string n = {}) { return g2(GateType::kAnd, a, b, std::move(n)); }
+  GateId or2(GateId a, GateId b, std::string n = {}) { return g2(GateType::kOr, a, b, std::move(n)); }
+  GateId xor2(GateId a, GateId b, std::string n = {}) { return g2(GateType::kXor, a, b, std::move(n)); }
+  GateId nand2(GateId a, GateId b, std::string n = {}) { return g2(GateType::kNand, a, b, std::move(n)); }
+  GateId nor2(GateId a, GateId b, std::string n = {}) { return g2(GateType::kNor, a, b, std::move(n)); }
+  GateId inv(GateId a, std::string n = {}) { return nl.add_gate(GateType::kNot, {a}, std::move(n)); }
+  GateId mux(GateId sel, GateId d0, GateId d1, std::string n = {}) {
+    return nl.add_gate(GateType::kMux, {sel, d0, d1}, std::move(n));
+  }
+
+  /// Full adder; returns {sum, carry}.
+  std::pair<GateId, GateId> full_add(GateId a, GateId b, GateId cin) {
+    const GateId axb = xor2(a, b);
+    const GateId sum = xor2(axb, cin);
+    const GateId carry = or2(and2(a, b), and2(axb, cin));
+    return {sum, carry};
+  }
+
+  /// Half adder; returns {sum, carry}.
+  std::pair<GateId, GateId> half_add(GateId a, GateId b) {
+    return {xor2(a, b), and2(a, b)};
+  }
+
+  /// Balanced reduction tree of 2-input gates over `xs`.
+  GateId tree(GateType t, std::vector<GateId> xs) {
+    AIDFT_ASSERT(!xs.empty(), "tree of zero inputs");
+    while (xs.size() > 1) {
+      std::vector<GateId> next;
+      for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+        next.push_back(g2(t, xs[i], xs[i + 1]));
+      }
+      if (xs.size() % 2 == 1) next.push_back(xs.back());
+      xs = std::move(next);
+    }
+    return xs[0];
+  }
+
+  Netlist done() {
+    nl.finalize();
+    return std::move(nl);
+  }
+};
+
+// Carry-save array multiplier over already-created operand bits; returns the
+// 2n product bits (LSB first). Row i adds partial products a[j]&b[i] (bit
+// i+j) into the running sum; the row's ripple carry becomes the next row's
+// top bit.
+std::vector<GateId> build_multiplier(Builder& b, const std::vector<GateId>& a,
+                                     const std::vector<GateId>& bb) {
+  const std::size_t n = a.size();
+  AIDFT_ASSERT(n == bb.size() && n >= 2, "multiplier operands");
+  std::vector<GateId> prod(2 * n, kNoGate);
+  // row[j] holds bit (i-1)+j of the running sum when processing row i.
+  std::vector<GateId> row(n);
+  for (std::size_t j = 0; j < n; ++j) row[j] = b.and2(a[j], bb[0]);
+  prod[0] = row[0];
+  GateId top = kNoGate;  // carry bit (i-1)+n from the previous row
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<GateId> pp(n);
+    for (std::size_t j = 0; j < n; ++j) pp[j] = b.and2(a[j], bb[i]);
+    std::vector<GateId> next(n);
+    GateId carry = kNoGate;
+    for (std::size_t j = 0; j < n; ++j) {
+      const GateId upper = (j + 1 < n) ? row[j + 1] : top;
+      if (upper == kNoGate && carry == kNoGate) {
+        next[j] = pp[j];
+      } else if (upper == kNoGate) {
+        auto [s, c] = b.half_add(pp[j], carry);
+        next[j] = s;
+        carry = c;
+      } else if (carry == kNoGate) {
+        auto [s, c] = b.half_add(pp[j], upper);
+        next[j] = s;
+        carry = c;
+      } else {
+        auto [s, c] = b.full_add(pp[j], upper, carry);
+        next[j] = s;
+        carry = c;
+      }
+    }
+    prod[i] = next[0];
+    row = std::move(next);
+    top = carry;
+  }
+  for (std::size_t j = 1; j < n; ++j) prod[n - 1 + j] = row[j];
+  // Highest bit: the last row's carry (kNoGate can only happen for n == 1).
+  AIDFT_ASSERT(top != kNoGate, "multiplier top carry missing");
+  prod[2 * n - 1] = top;
+  return prod;
+}
+
+}  // namespace
+
+Netlist make_c17() {
+  Builder b("c17");
+  const GateId g1 = b.in("G1"), g2 = b.in("G2"), g3 = b.in("G3"),
+               g6 = b.in("G6"), g7 = b.in("G7");
+  const GateId g10 = b.nand2(g1, g3, "G10");
+  const GateId g11 = b.nand2(g3, g6, "G11");
+  const GateId g16 = b.nand2(g2, g11, "G16");
+  const GateId g19 = b.nand2(g11, g7, "G19");
+  const GateId g22 = b.nand2(g10, g16, "G22");
+  const GateId g23 = b.nand2(g16, g19, "G23");
+  b.nl.add_output(g22, "G22_out");
+  b.nl.add_output(g23, "G23_out");
+  return b.done();
+}
+
+Netlist make_ripple_adder(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1, "ripple adder needs n >= 1");
+  Builder b("rca" + std::to_string(n));
+  std::vector<GateId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
+  GateId carry = b.in("cin");
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [s, c] = b.full_add(a[i], bb[i], carry);
+    b.nl.add_output(s, idx("sum", i));
+    carry = c;
+  }
+  b.nl.add_output(carry, "cout");
+  return b.done();
+}
+
+Netlist make_carry_lookahead_adder(std::size_t n) {
+  AIDFT_REQUIRE(n >= 4 && n % 4 == 0, "CLA needs n multiple of 4");
+  Builder b("cla" + std::to_string(n));
+  std::vector<GateId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
+  GateId carry = b.in("cin");
+
+  for (std::size_t blk = 0; blk < n / 4; ++blk) {
+    // Generate/propagate for the 4 bit positions of this block.
+    GateId g[4], p[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t bit = blk * 4 + i;
+      g[i] = b.and2(a[bit], bb[bit], idx("g", bit));
+      p[i] = b.xor2(a[bit], bb[bit], idx("p", bit));
+    }
+    // Carries inside the block: c[i+1] = g[i] | p[i]&c[i], fully expanded.
+    GateId c = carry;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t bit = blk * 4 + i;
+      b.nl.add_output(b.xor2(p[i], c), idx("sum", bit));
+      // Expanded lookahead term for the next carry.
+      GateId term = g[i];
+      GateId chain = p[i];
+      for (std::size_t j = i; j-- > 0;) {
+        term = b.or2(term, b.and2(chain, g[j]));
+        chain = b.and2(chain, p[j]);
+      }
+      c = b.or2(term, b.and2(chain, carry));
+    }
+    carry = c;
+  }
+  b.nl.add_output(carry, "cout");
+  return b.done();
+}
+
+Netlist make_array_multiplier(std::size_t n) {
+  AIDFT_REQUIRE(n >= 2, "multiplier needs n >= 2");
+  Builder b("mul" + std::to_string(n) + "x" + std::to_string(n));
+  std::vector<GateId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
+
+  const std::vector<GateId> prod = build_multiplier(b, a, bb);
+  for (std::size_t j = 0; j < 2 * n; ++j) {
+    b.nl.add_output(prod[j], idx("p", j));
+  }
+  return b.done();
+}
+
+Netlist make_alu(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1, "ALU needs n >= 1");
+  Builder b("alu" + std::to_string(n));
+  std::vector<GateId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
+  const GateId op0 = b.in("op0");  // 0: add-family, 1: sub (when op1=0)
+  const GateId op1 = b.in("op1");  // 1: logic family (op0 0=AND 1=XOR)
+
+  // Adder path: b xor sub yields two's-complement subtract with cin=sub.
+  GateId carry = op0;  // sub bit doubles as carry-in; only used when op1==0
+  std::vector<GateId> addsub(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateId bi = b.xor2(bb[i], op0);
+    auto [s, c] = b.full_add(a[i], bi, carry);
+    addsub[i] = s;
+    carry = c;
+  }
+  std::vector<GateId> result(n);
+  std::vector<GateId> nz_terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateId land = b.and2(a[i], bb[i]);
+    const GateId lxor = b.xor2(a[i], bb[i]);
+    const GateId logic = b.mux(op0, land, lxor);
+    result[i] = b.mux(op1, addsub[i], logic);
+    b.nl.add_output(result[i], idx("r", i));
+    nz_terms.push_back(result[i]);
+  }
+  b.nl.add_output(carry, "cout");
+  const GateId any = b.tree(GateType::kOr, nz_terms);
+  b.nl.add_output(b.inv(any), "zero");
+  return b.done();
+}
+
+Netlist make_parity_tree(std::size_t n) {
+  AIDFT_REQUIRE(n >= 2, "parity tree needs n >= 2");
+  Builder b("parity" + std::to_string(n));
+  std::vector<GateId> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = b.in(idx("d", i));
+  b.nl.add_output(b.tree(GateType::kXor, xs), "parity");
+  return b.done();
+}
+
+Netlist make_mux_tree(std::size_t sel_bits) {
+  AIDFT_REQUIRE(sel_bits >= 1 && sel_bits <= 10, "mux tree: 1..10 select bits");
+  Builder b("muxtree" + std::to_string(sel_bits));
+  const std::size_t n = std::size_t{1} << sel_bits;
+  std::vector<GateId> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = b.in(idx("d", i));
+  std::vector<GateId> sel(sel_bits);
+  for (std::size_t i = 0; i < sel_bits; ++i) sel[i] = b.in(idx("s", i));
+  std::vector<GateId> layer = data;
+  for (std::size_t lvl = 0; lvl < sel_bits; ++lvl) {
+    std::vector<GateId> next(layer.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = b.mux(sel[lvl], layer[2 * i], layer[2 * i + 1]);
+    }
+    layer = std::move(next);
+  }
+  b.nl.add_output(layer[0], "y");
+  return b.done();
+}
+
+Netlist make_comparator(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1, "comparator needs n >= 1");
+  Builder b("cmp" + std::to_string(n));
+  std::vector<GateId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
+  // MSB-first: eq chain and lt accumulation.
+  GateId eq = kNoGate;
+  GateId lt = kNoGate;
+  for (std::size_t i = n; i-- > 0;) {
+    const GateId bit_eq = b.nl.add_gate(GateType::kXnor, {a[i], bb[i]});
+    const GateId bit_lt = b.and2(b.inv(a[i]), bb[i]);
+    if (eq == kNoGate) {
+      lt = bit_lt;
+      eq = bit_eq;
+    } else {
+      lt = b.or2(lt, b.and2(eq, bit_lt));
+      eq = b.and2(eq, bit_eq);
+    }
+  }
+  const GateId gt = b.nor2(lt, eq);
+  b.nl.add_output(eq, "eq");
+  b.nl.add_output(lt, "lt");
+  b.nl.add_output(gt, "gt");
+  return b.done();
+}
+
+Netlist make_decoder(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1 && n <= 8, "decoder: 1..8 address bits");
+  Builder b("dec" + std::to_string(n));
+  std::vector<GateId> addr(n), naddr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addr[i] = b.in(idx("a", i));
+  }
+  const GateId en = b.in("en");
+  for (std::size_t i = 0; i < n; ++i) naddr[i] = b.inv(addr[i]);
+  const std::size_t rows = std::size_t{1} << n;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<GateId> terms{en};
+    for (std::size_t i = 0; i < n; ++i) {
+      terms.push_back(((r >> i) & 1) ? addr[i] : naddr[i]);
+    }
+    b.nl.add_output(b.tree(GateType::kAnd, terms), idx("row", r));
+  }
+  return b.done();
+}
+
+Netlist make_rp_resistant(std::size_t cones, std::size_t width) {
+  AIDFT_REQUIRE(cones >= 1 && width >= 2, "rp_resistant: cones>=1, width>=2");
+  Builder b("rpr_c" + std::to_string(cones) + "_w" + std::to_string(width));
+  std::vector<GateId> cone_outs;
+  for (std::size_t c = 0; c < cones; ++c) {
+    std::vector<GateId> ins(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      ins[i] = b.in("c" + std::to_string(c) + "_" + idx("d", i));
+    }
+    const GateId wide_and = b.tree(GateType::kAnd, ins);
+    // Side parity keeps internal nodes of the cone observable only through
+    // hard-to-sensitise paths.
+    const GateId par = b.tree(GateType::kXor, {ins[0], ins[width / 2], wide_and});
+    cone_outs.push_back(wide_and);
+    b.nl.add_output(par, "par" + std::to_string(c));
+  }
+  b.nl.add_output(b.tree(GateType::kOr, cone_outs), "any");
+  return b.done();
+}
+
+Netlist make_counter(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1, "counter needs n >= 1");
+  Builder b("cnt" + std::to_string(n));
+  const GateId en = b.in("en");
+  // Declare DFFs first (their D nets reference combinational logic computed
+  // from the DFF outputs themselves).
+  // Netlist requires fanin at add time for add_dff, so build with explicit
+  // gates: create placeholder BUFs is unnecessary — we add DFFs last instead,
+  // computing next-state from DFF outputs requires the DFF gate ids first.
+  // Trick: DFF value is Q; so create DFFs with a temporary order: create
+  // next-state logic referencing DFF ids; Netlist::connect allows forward
+  // ids because we add DFF gates first without fanin, then connect.
+  std::vector<GateId> q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = b.nl.add_gate(GateType::kDff, idx("q", i));
+  }
+  GateId carry = en;
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateId d = b.xor2(q[i], carry);
+    carry = b.and2(q[i], carry);
+    b.nl.connect(d, q[i]);
+    b.nl.add_output(q[i], idx("count", i));
+  }
+  b.nl.add_output(carry, "ovf");
+  return b.done();
+}
+
+Netlist make_shift_register(std::size_t n) {
+  AIDFT_REQUIRE(n >= 1, "shift register needs n >= 1");
+  Builder b("shift" + std::to_string(n));
+  GateId prev = b.in("sin");
+  for (std::size_t i = 0; i < n; ++i) {
+    prev = b.nl.add_dff(prev, idx("q", i));
+  }
+  b.nl.add_output(prev, "sout");
+  return b.done();
+}
+
+Netlist make_mac(std::size_t width, bool registered) {
+  AIDFT_REQUIRE(width >= 2 && width <= 16, "mac: width in [2,16]");
+  Builder b("mac" + std::to_string(width) + (registered ? "_reg" : ""));
+  const std::size_t acc_w = 2 * width + 4;  // guard bits against overflow
+  std::vector<GateId> a(width), bb(width), acc(acc_w);
+  for (std::size_t i = 0; i < width; ++i) a[i] = b.in(idx("a", i));
+  for (std::size_t i = 0; i < width; ++i) bb[i] = b.in(idx("b", i));
+  for (std::size_t i = 0; i < acc_w; ++i) acc[i] = b.in(idx("acc", i));
+
+  // Product via the shared carry-save array (same cells as the standalone
+  // array multiplier).
+  const std::vector<GateId> prod = build_multiplier(b, a, bb);
+
+  // Accumulate: sum = acc + prod (prod zero-extended).
+  GateId carry = kNoGate;
+  for (std::size_t i = 0; i < acc_w; ++i) {
+    GateId s;
+    const GateId p = (i < 2 * width) ? prod[i] : kNoGate;
+    if (p == kNoGate && carry == kNoGate) {
+      s = acc[i];
+    } else if (p == kNoGate) {
+      auto [ss, c] = b.half_add(acc[i], carry);
+      s = ss;
+      carry = c;
+    } else if (carry == kNoGate) {
+      auto [ss, c] = b.half_add(acc[i], p);
+      s = ss;
+      carry = c;
+    } else {
+      auto [ss, c] = b.full_add(acc[i], p, carry);
+      s = ss;
+      carry = c;
+    }
+    if (registered) {
+      const GateId ff = b.nl.add_dff(s, idx("sum_q", i));
+      b.nl.add_output(ff, idx("sum", i));
+    } else {
+      b.nl.add_output(s, idx("sum", i));
+    }
+  }
+  return b.done();
+}
+
+Netlist make_random_logic(std::size_t ninputs, std::size_t ngates,
+                          std::uint64_t seed) {
+  AIDFT_REQUIRE(ninputs >= 2 && ngates >= 1, "random logic: >=2 inputs, >=1 gate");
+  Builder b("rand_i" + std::to_string(ninputs) + "_g" + std::to_string(ngates) +
+            "_s" + std::to_string(seed));
+  Rng rng(seed);
+  std::vector<GateId> pool;
+  for (std::size_t i = 0; i < ninputs; ++i) pool.push_back(b.in(idx("x", i)));
+  static constexpr GateType kinds[] = {GateType::kAnd,  GateType::kNand,
+                                       GateType::kOr,   GateType::kNor,
+                                       GateType::kXor,  GateType::kXnor,
+                                       GateType::kNot,  GateType::kMux};
+  std::vector<bool> used(ninputs + ngates, false);
+  for (std::size_t i = 0; i < ngates; ++i) {
+    const GateType t = kinds[rng.next_below(std::size(kinds))];
+    GateId g;
+    auto pick = [&] {
+      const std::size_t k = pool.size();
+      // Bias toward recent gates for depth; pick from the last half mostly.
+      const std::size_t lo = rng.next_bool(0.7) ? k / 2 : 0;
+      return pool[lo + rng.next_below(k - lo)];
+    };
+    if (t == GateType::kNot) {
+      const GateId x = pick();
+      used[x] = true;
+      g = b.inv(x);
+    } else if (t == GateType::kMux) {
+      const GateId s = pick(), d0 = pick(), d1 = pick();
+      used[s] = used[d0] = used[d1] = true;
+      g = b.mux(s, d0, d1);
+    } else {
+      const GateId x = pick(), y = pick();
+      used[x] = used[y] = true;
+      g = b.g2(t, x, y);
+    }
+    used.resize(std::max<std::size_t>(used.size(), g + 1), false);
+    pool.push_back(g);
+  }
+  // Observe every sink (gate with no fanout yet) so nothing is dead.
+  std::size_t nout = 0;
+  for (GateId g : pool) {
+    if (g < used.size() && !used[g]) {
+      b.nl.add_output(g, idx("y", nout++));
+    }
+  }
+  if (nout == 0) b.nl.add_output(pool.back(), "y[0]");
+  return b.done();
+}
+
+Netlist make_redundant() {
+  Builder b("redundant");
+  const GateId a = b.in("a"), bb = b.in("b"), c = b.in("c");
+  const GateId t1 = b.and2(a, bb, "t_ab");
+  const GateId t2 = b.and2(b.inv(a), c, "t_nac");
+  const GateId t3 = b.and2(bb, c, "t_bc_redundant");  // consensus term
+  b.nl.add_output(b.tree(GateType::kOr, {t1, t2, t3}), "f");
+  return b.done();
+}
+
+std::vector<NamedCircuit> standard_suite() {
+  std::vector<NamedCircuit> v;
+  v.push_back({"c17", make_c17()});
+  v.push_back({"rca8", make_ripple_adder(8)});
+  v.push_back({"cla16", make_carry_lookahead_adder(16)});
+  v.push_back({"mul4", make_array_multiplier(4)});
+  v.push_back({"mul8", make_array_multiplier(8)});
+  v.push_back({"alu8", make_alu(8)});
+  v.push_back({"parity16", make_parity_tree(16)});
+  v.push_back({"muxtree4", make_mux_tree(4)});
+  v.push_back({"cmp8", make_comparator(8)});
+  v.push_back({"dec4", make_decoder(4)});
+  v.push_back({"rpr4x8", make_rp_resistant(4, 8)});
+  v.push_back({"cnt8", make_counter(8)});
+  v.push_back({"mac8", make_mac(8, false)});
+  return v;
+}
+
+}  // namespace aidft::circuits

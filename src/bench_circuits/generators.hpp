@@ -1,0 +1,84 @@
+// Parameterised gate-level circuit generators.
+//
+// These stand in for the ISCAS/ITC benchmark files the DFT literature uses
+// (see DESIGN.md substitution table): classic arithmetic and control
+// structures with the reconvergence, redundancy, and random-pattern
+// resistance that make them interesting test-generation targets. Every
+// generator returns a finalized netlist with stable, human-readable signal
+// names so failures are debuggable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft::circuits {
+
+/// The ISCAS-85 c17 circuit (6 NAND gates) — the canonical smoke test.
+Netlist make_c17();
+
+/// n-bit ripple-carry adder: inputs a[n], b[n], cin; outputs sum[n], cout.
+Netlist make_ripple_adder(std::size_t n);
+
+/// n-bit carry-lookahead adder built from 4-bit CLA blocks (n multiple of 4).
+Netlist make_carry_lookahead_adder(std::size_t n);
+
+/// n x n array multiplier: inputs a[n], b[n]; outputs p[2n].
+Netlist make_array_multiplier(std::size_t n);
+
+/// n-bit 4-operation ALU (ADD, SUB, AND, XOR selected by op[2]) with carry
+/// out and zero flag. op encoding: 00=ADD 01=SUB 10=AND 11=XOR.
+Netlist make_alu(std::size_t n);
+
+/// n-input XOR parity tree (binary tree of XOR2).
+Netlist make_parity_tree(std::size_t n);
+
+/// 2^sel_bits : 1 mux tree: data inputs d[2^sel], selects s[sel].
+Netlist make_mux_tree(std::size_t sel_bits);
+
+/// n-bit magnitude comparator: outputs eq, lt (a<b), gt.
+Netlist make_comparator(std::size_t n);
+
+/// n-to-2^n one-hot decoder with enable.
+Netlist make_decoder(std::size_t n);
+
+/// Random-pattern-resistant block: `cones` parallel AND-cones of width
+/// `width` feeding an OR; each cone output also drives a NOR with a parity
+/// side-input. Random patterns almost never set a wide AND cone to 1, so
+/// faults inside it escape random test — the LBIST test-point workload.
+Netlist make_rp_resistant(std::size_t cones, std::size_t width);
+
+/// Sequential n-bit binary counter with synchronous enable (DFF state).
+Netlist make_counter(std::size_t n);
+
+/// Sequential n-bit shift register with scan-style serial input.
+Netlist make_shift_register(std::size_t n);
+
+/// Combinational multiply-accumulate: p = a[w]*b[w] + acc[2w+g] where g
+/// guard bits avoid overflow; outputs the full sum. Registered variant has
+/// DFFs on all outputs (the AI-chip processing-element datapath).
+Netlist make_mac(std::size_t width, bool registered);
+
+/// Pseudo-random combinational DAG with `ngates` gates over `ninputs`
+/// inputs; deterministic in `seed`. Used by property tests to explore
+/// structure space.
+Netlist make_random_logic(std::size_t ninputs, std::size_t ngates,
+                          std::uint64_t seed);
+
+/// A circuit containing a classically redundant (untestable) stuck-at fault:
+/// out = (a AND b) OR (a AND NOT b) OR (NOT a AND c) plus a consensus term
+/// (b AND c) that is redundant. Used to validate untestability proofs.
+Netlist make_redundant();
+
+/// All generator names paired with a small instance, for parameterized
+/// sweep tests. Kept small enough that exhaustive input enumeration is
+/// feasible where tests want it.
+struct NamedCircuit {
+  const char* name;
+  Netlist netlist;
+};
+std::vector<NamedCircuit> standard_suite();
+
+}  // namespace aidft::circuits

@@ -1,0 +1,126 @@
+#include "bist/lbist.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+
+Prpg::Prpg(const LbistConfig& config, std::size_t num_positions)
+    : nbits_(config.prpg_bits), state_(config.seed) {
+  AIDFT_REQUIRE(nbits_ >= 8 && nbits_ <= 64, "prpg_bits in [8,64]");
+  state_ |= 1;  // never the all-zero LFSR lockup state
+  if (nbits_ < 64) state_ &= (1ull << nbits_) - 1;
+  // Feedback taps (see compress/edt.cpp for the width table rationale).
+  switch (nbits_) {
+    case 16: taps_ = {12, 3, 1}; break;
+    case 24: taps_ = {7, 2, 1}; break;
+    case 32: taps_ = {22, 2, 1}; break;
+    case 64: taps_ = {4, 3, 1}; break;
+    default: taps_ = {nbits_ - 2, 2, 1}; break;
+  }
+  Rng rng(config.seed ^ 0x5157D5);
+  ps_taps_.resize(num_positions);
+  for (auto& taps : ps_taps_) {
+    while (taps.size() < std::min<std::size_t>(3, nbits_)) {
+      const std::size_t t = rng.next_below(nbits_);
+      if (std::find(taps.begin(), taps.end(), t) == taps.end()) {
+        taps.push_back(t);
+      }
+    }
+  }
+}
+
+void Prpg::step() {
+  const bool feedback = state_ & 1ull;
+  state_ >>= 1;
+  if (feedback) {
+    state_ |= 1ull << (nbits_ - 1);
+    for (std::size_t t : taps_) state_ ^= 1ull << t;
+  }
+}
+
+TestCube Prpg::next_pattern() {
+  TestCube cube(ps_taps_.size());
+  for (std::size_t i = 0; i < ps_taps_.size(); ++i) {
+    step();
+    bool bit = false;
+    for (std::size_t t : ps_taps_[i]) bit ^= (state_ >> t) & 1ull;
+    cube.bits[i] = bit ? Val3::kOne : Val3::kZero;
+  }
+  return cube;
+}
+
+LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
+                      std::size_t npatterns, const LbistConfig& config) {
+  AIDFT_REQUIRE(nl.finalized(), "run_lbist requires finalized netlist");
+  LbistResult result;
+  result.patterns = npatterns;
+  result.faults_total = faults.size();
+
+  const std::size_t width = nl.combinational_inputs().size();
+  Prpg prpg(config, width);
+  std::vector<TestCube> patterns;
+  patterns.reserve(npatterns);
+  for (std::size_t i = 0; i < npatterns; ++i) patterns.push_back(prpg.next_pattern());
+
+  const CampaignResult campaign = run_fault_campaign(nl, faults, patterns);
+  result.detected = campaign.detected;
+  result.detected_after = campaign.detected_after;
+
+  // Golden signature: MISR over the observed response of every pattern.
+  Misr misr(config.misr_bits);
+  ParallelSimulator sim(nl);
+  const auto observe = nl.observe_points();
+  std::vector<bool> response(observe.size());
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    sim.simulate(pack_patterns(patterns, base, count));
+    const auto words = sim.observed_response();
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      for (std::size_t i = 0; i < observe.size(); ++i) {
+        response[i] = (words[i] >> lane) & 1;
+      }
+      misr.shift_in(response);
+    }
+  }
+  result.golden_signature = misr.signature();
+  return result;
+}
+
+std::vector<std::uint64_t> faulty_signature(const Netlist& nl, const Fault& fault,
+                                            std::size_t npatterns,
+                                            const LbistConfig& config) {
+  const std::size_t width = nl.combinational_inputs().size();
+  Prpg prpg(config, width);
+  std::vector<TestCube> patterns;
+  patterns.reserve(npatterns);
+  for (std::size_t i = 0; i < npatterns; ++i) patterns.push_back(prpg.next_pattern());
+
+  Misr misr(config.misr_bits);
+  FaultSimulator fsim(nl);
+  const auto observe = nl.observe_points();
+  std::vector<bool> response(observe.size());
+  std::vector<std::uint64_t> op_diffs;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.load_batch(pack_patterns(patterns, base, count));
+    fsim.detect_mask_detailed(fault, op_diffs);
+    // Faulty response = good response XOR diff.
+    ParallelSimulator sim(nl);
+    sim.simulate(pack_patterns(patterns, base, count));
+    const auto words = sim.observed_response();
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      for (std::size_t i = 0; i < observe.size(); ++i) {
+        const bool good = (words[i] >> lane) & 1;
+        const bool diff = (op_diffs[i] >> lane) & 1;
+        response[i] = good ^ diff;
+      }
+      misr.shift_in(response);
+    }
+  }
+  return misr.signature();
+}
+
+}  // namespace aidft

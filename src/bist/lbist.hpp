@@ -1,0 +1,72 @@
+// STUMPS-style logic BIST.
+//
+// A PRPG (LFSR + phase shifter) fills every scan chain in parallel while a
+// MISR compacts unloaded responses into a signature. Primary inputs are
+// assumed wrapped in boundary-scan cells (standard LBIST practice), so the
+// PRPG drives the entire combinational input vector. The signature of the
+// fault-free machine is golden; a defective chip is caught when its MISR
+// signature differs (aliasing probability ~2^-misr_bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/edt.hpp"  // Misr
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+struct LbistConfig {
+  std::size_t prpg_bits = 32;
+  std::uint64_t seed = 0xB157;  // nonzero PRPG seed
+  std::size_t misr_bits = 32;
+};
+
+/// Pseudo-random pattern generator: LFSR plus per-position phase-shifter
+/// taps, the stimulus half of STUMPS flattened onto the combinational view.
+class Prpg {
+ public:
+  Prpg(const LbistConfig& config, std::size_t num_positions);
+
+  /// Next fully specified pattern (advances the LFSR by one shift per cell,
+  /// as a max-length chain load would).
+  TestCube next_pattern();
+
+ private:
+  void step();
+
+  std::size_t nbits_;
+  std::uint64_t state_;
+  std::vector<std::size_t> taps_;
+  std::vector<std::vector<std::size_t>> ps_taps_;  // per position
+};
+
+struct LbistResult {
+  std::size_t patterns = 0;
+  std::size_t faults_total = 0;
+  std::size_t detected = 0;
+  std::vector<std::size_t> detected_after;      // coverage curve
+  std::vector<std::uint64_t> golden_signature;  // fault-free MISR state
+
+  double coverage() const {
+    return faults_total == 0 ? 1.0
+                             : static_cast<double>(detected) / faults_total;
+  }
+};
+
+/// Runs `npatterns` of LBIST against `faults`, with fault dropping, and
+/// computes the golden signature.
+LbistResult run_lbist(const Netlist& netlist, const std::vector<Fault>& faults,
+                      std::size_t npatterns, const LbistConfig& config = {});
+
+/// MISR signature of a *defective* machine (single stuck-at `fault`) over
+/// the same session. Detected faults should produce a differing signature
+/// unless MISR aliasing strikes.
+std::vector<std::uint64_t> faulty_signature(const Netlist& netlist,
+                                            const Fault& fault,
+                                            std::size_t npatterns,
+                                            const LbistConfig& config = {});
+
+}  // namespace aidft

@@ -1,0 +1,196 @@
+#include "bist/mbist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace aidft {
+
+MarchAlgorithm parse_march(const std::string& text) {
+  MarchAlgorithm alg;
+  std::stringstream elements(text);
+  std::string elem;
+  int line = 0;
+  while (std::getline(elements, elem, ';')) {
+    ++line;
+    // strip spaces
+    elem.erase(std::remove_if(elem.begin(), elem.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               elem.end());
+    if (elem.empty()) continue;
+    MarchElement me;
+    const char dir = static_cast<char>(std::toupper(static_cast<unsigned char>(elem[0])));
+    switch (dir) {
+      case 'U': me.order = MarchElement::Order::kAscending; break;
+      case 'D': me.order = MarchElement::Order::kDescending; break;
+      case 'A': me.order = MarchElement::Order::kAny; break;
+      default:
+        throw Error("march element " + std::to_string(line) +
+                    ": expected U/D/A, got '" + elem + "'");
+    }
+    const std::size_t open = elem.find('(');
+    const std::size_t close = elem.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      throw Error("march element " + std::to_string(line) + ": missing (...)");
+    }
+    std::stringstream ops(elem.substr(open + 1, close - open - 1));
+    std::string op;
+    while (std::getline(ops, op, ',')) {
+      if (op.size() != 2) {
+        throw Error("march op '" + op + "': expected r0/r1/w0/w1");
+      }
+      const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(op[0])));
+      const char val = op[1];
+      if ((kind != 'r' && kind != 'w') || (val != '0' && val != '1')) {
+        throw Error("march op '" + op + "': expected r0/r1/w0/w1");
+      }
+      if (kind == 'w') {
+        me.ops.push_back(val == '0' ? MemOp::kW0 : MemOp::kW1);
+      } else {
+        me.ops.push_back(val == '0' ? MemOp::kR0 : MemOp::kR1);
+      }
+    }
+    if (me.ops.empty()) {
+      throw Error("march element " + std::to_string(line) + ": no operations");
+    }
+    alg.push_back(std::move(me));
+  }
+  AIDFT_REQUIRE(!alg.empty(), "empty march algorithm");
+  return alg;
+}
+
+std::size_t march_ops_per_cell(const MarchAlgorithm& alg) {
+  std::size_t n = 0;
+  for (const auto& e : alg) n += e.ops.size();
+  return n;
+}
+
+MarchAlgorithm march_mats() { return parse_march("A(w0);A(r0,w1);A(r1)"); }
+MarchAlgorithm march_mats_plus() { return parse_march("A(w0);U(r0,w1);D(r1,w0)"); }
+MarchAlgorithm march_x() { return parse_march("A(w0);U(r0,w1);D(r1,w0);A(r0)"); }
+MarchAlgorithm march_c_minus() {
+  return parse_march("A(w0);U(r0,w1);U(r1,w0);D(r0,w1);D(r1,w0);A(r0)");
+}
+MarchAlgorithm march_b() {
+  return parse_march(
+      "A(w0);U(r0,w1,r1,w0,r0,w1);U(r1,w0,w1);D(r1,w0,w1,w0);D(r0,w1,w0)");
+}
+
+FaultyMemory::FaultyMemory(std::size_t num_cells, MemFault fault)
+    : cells_(num_cells, 0), fault_(fault) {
+  AIDFT_REQUIRE(num_cells >= 2, "memory needs >= 2 cells");
+  if (fault_.kind != MemFault::Kind::kNone) {
+    AIDFT_REQUIRE(fault_.cell < num_cells && fault_.aggressor < num_cells,
+                  "fault addresses out of range");
+  }
+  if (fault_.kind == MemFault::Kind::kStuckAt) {
+    cells_[fault_.cell] = fault_.value;
+  }
+}
+
+std::size_t FaultyMemory::resolve(std::size_t addr) const {
+  if (fault_.kind == MemFault::Kind::kAddressFault && addr == fault_.cell) {
+    return fault_.aggressor;  // decoder routes this address elsewhere
+  }
+  return addr;
+}
+
+void FaultyMemory::set_cell(std::size_t phys, bool v) {
+  const bool old = cells_[phys];
+  switch (fault_.kind) {
+    case MemFault::Kind::kStuckAt:
+      if (phys == fault_.cell) return;  // cell cannot change
+      break;
+    case MemFault::Kind::kTransition:
+      if (phys == fault_.cell) {
+        const bool up = !old && v;
+        const bool down = old && !v;
+        if ((fault_.value == 1 && up) || (fault_.value == 0 && down)) {
+          return;  // transition fails, cell keeps its old value
+        }
+      }
+      break;
+    case MemFault::Kind::kCouplingInv:
+      if (phys == fault_.aggressor) {
+        const bool up = !old && v;
+        const bool down = old && !v;
+        const bool triggers = fault_.value == 1 ? up : down;
+        cells_[phys] = v;
+        if (triggers) cells_[fault_.cell] ^= 1;
+        return;
+      }
+      break;
+    case MemFault::Kind::kCouplingIdem:
+      if (phys == fault_.aggressor) {
+        const bool changed = old != v;
+        cells_[phys] = v;
+        if (changed) cells_[fault_.cell] = fault_.value;
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  cells_[phys] = v;
+}
+
+void FaultyMemory::write(std::size_t addr, bool v) {
+  AIDFT_REQUIRE(addr < cells_.size(), "write out of range");
+  set_cell(resolve(addr), v);
+}
+
+bool FaultyMemory::read(std::size_t addr) {
+  AIDFT_REQUIRE(addr < cells_.size(), "read out of range");
+  const std::size_t phys = resolve(addr);
+  if (fault_.kind == MemFault::Kind::kCouplingState && phys == fault_.cell &&
+      cells_[fault_.aggressor] == fault_.aggressor_state) {
+    return fault_.value;  // victim reads wrong while aggressor holds state
+  }
+  return cells_[phys];
+}
+
+bool run_march(const MarchAlgorithm& alg, FaultyMemory& mem) {
+  const std::size_t n = mem.size();
+  for (const MarchElement& e : alg) {
+    const bool descending = e.order == MarchElement::Order::kDescending;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t addr = descending ? n - 1 - i : i;
+      for (const MemOp op : e.ops) {
+        switch (op) {
+          case MemOp::kW0: mem.write(addr, false); break;
+          case MemOp::kW1: mem.write(addr, true); break;
+          case MemOp::kR0:
+            if (mem.read(addr) != false) return false;
+            break;
+          case MemOp::kR1:
+            if (mem.read(addr) != true) return false;
+            break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double march_coverage(const MarchAlgorithm& alg, MemFault::Kind kind,
+                      std::size_t num_cells, std::size_t trials,
+                      std::uint64_t seed) {
+  AIDFT_REQUIRE(trials >= 1, "need at least one trial");
+  Rng rng(seed);
+  std::size_t detected = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    MemFault f;
+    f.kind = kind;
+    f.cell = rng.next_below(num_cells);
+    do {
+      f.aggressor = rng.next_below(num_cells);
+    } while (f.aggressor == f.cell);
+    f.value = static_cast<std::uint8_t>(rng.next_below(2));
+    f.aggressor_state = static_cast<std::uint8_t>(rng.next_below(2));
+    FaultyMemory mem(num_cells, f);
+    if (!run_march(alg, mem)) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+}  // namespace aidft

@@ -1,0 +1,95 @@
+// Memory BIST: March test engine over a behavioural RAM with injectable
+// memory fault models.
+//
+// March notation: a test is a sequence of elements, each an address-order
+// marker (⇑ ascending / ⇓ descending / ⇕ either, written U/D/A in ASCII)
+// plus an operation list (w0, w1, r0, r1 — reads carry their expected
+// value). The engine walks a FaultyMemory and reports the first mismatch.
+//
+// Fault models are the classical bit-cell ones: stuck-at, transition,
+// inversion/idempotent coupling, state coupling, and address-decoder
+// aliasing — the matrix every memory-test textbook (and this tutorial's
+// MBIST section) grades March algorithms against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aidft {
+
+enum class MemOp : std::uint8_t { kW0, kW1, kR0, kR1 };
+
+struct MarchElement {
+  enum class Order : std::uint8_t { kAscending, kDescending, kAny };
+  Order order = Order::kAny;
+  std::vector<MemOp> ops;
+};
+
+using MarchAlgorithm = std::vector<MarchElement>;
+
+/// Parses "U(w0);U(r0,w1);D(r1,w0);A(r0)" (case-insensitive; U=⇑, D=⇓,
+/// A=⇕). Throws Error on malformed text.
+MarchAlgorithm parse_march(const std::string& text);
+
+/// March element count and total operations per cell (the O(n) constant).
+std::size_t march_ops_per_cell(const MarchAlgorithm& algorithm);
+
+/// Classic algorithms.
+MarchAlgorithm march_mats();    // {⇕(w0); ⇕(r0,w1); ⇕(r1)}
+MarchAlgorithm march_mats_plus();  // {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}
+MarchAlgorithm march_x();       // {⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}
+MarchAlgorithm march_c_minus(); // {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}
+MarchAlgorithm march_b();       // {⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}
+
+/// Injectable memory fault models (single fault per memory instance).
+struct MemFault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kStuckAt,       // cell always `value`
+    kTransition,    // value==1: up-transition 0→1 fails; value==0: down fails
+    kCouplingInv,   // a transition (direction `value`: 1=up) on aggressor
+                    // inverts the victim
+    kCouplingIdem,  // a transition on aggressor forces victim to `value`
+    kCouplingState, // while aggressor holds `aggressor_state`, victim reads
+                    // as `value`
+    kAddressFault,  // accesses to `cell` alias onto `aggressor` instead
+  };
+  Kind kind = Kind::kNone;
+  std::size_t cell = 0;        // victim cell
+  std::size_t aggressor = 0;   // aggressor cell (coupling/aliasing)
+  std::uint8_t value = 0;
+  std::uint8_t aggressor_state = 0;  // for kCouplingState
+};
+
+/// One-bit-per-cell RAM with one injected fault.
+class FaultyMemory {
+ public:
+  explicit FaultyMemory(std::size_t num_cells, MemFault fault = {});
+
+  std::size_t size() const { return cells_.size(); }
+  void write(std::size_t addr, bool v);
+  bool read(std::size_t addr);
+
+ private:
+  std::size_t resolve(std::size_t addr) const;
+  void set_cell(std::size_t phys, bool v);  // applies coupling side effects
+
+  std::vector<std::uint8_t> cells_;
+  MemFault fault_;
+};
+
+/// Runs the March test; returns true if the memory PASSES (no mismatch).
+/// A fault is *detected* when this returns false on a faulty memory.
+bool run_march(const MarchAlgorithm& algorithm, FaultyMemory& memory);
+
+/// Fraction of `trials` random fault instances of `kind` that the algorithm
+/// detects on an `num_cells`-bit memory. Deterministic in `seed`.
+double march_coverage(const MarchAlgorithm& algorithm, MemFault::Kind kind,
+                      std::size_t num_cells, std::size_t trials,
+                      std::uint64_t seed);
+
+}  // namespace aidft

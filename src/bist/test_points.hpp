@@ -1,0 +1,41 @@
+// SCOAP-driven test-point insertion.
+//
+// LBIST coverage stalls on random-pattern-resistant logic; the classic cure
+// is inserting (a) observe points — new scan-observable taps on nets with
+// terrible observability — and (b) control points — an OR (force-1) or AND
+// with inverted enable (force-0) spliced into nets with terrible
+// controllability, driven by dedicated test-mode inputs. Selection is by
+// worst SCOAP score; insertion rewrites a cloned netlist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/scoap.hpp"
+
+namespace aidft {
+
+struct ControlPoint {
+  GateId net = kNoGate;   // original netlist gate whose output is spliced
+  bool force_to_one = true;  // OR-type (force 1) vs AND-type (force 0)
+};
+
+struct TestPointPlan {
+  std::vector<GateId> observe;         // nets gaining an observe tap
+  std::vector<ControlPoint> control;   // nets gaining a control splice
+};
+
+/// Picks the `n_observe` worst-observability nets and `n_control` worst-
+/// controllability nets (choosing force-1 for CC1-dominant hardness,
+/// force-0 otherwise). Sources, flops, and IO markers are not eligible.
+TestPointPlan select_test_points(const Netlist& netlist, const ScoapResult& scoap,
+                                 std::size_t n_observe, std::size_t n_control);
+
+/// Applies the plan to a clone of `netlist`: observe points become extra
+/// outputs ("tp_obs<i>"); each control point adds an input ("tp_ctl<i>")
+/// and an OR/AND splice through which all original fanouts are rerouted.
+/// Holding every tp_ctl at 0 preserves functional behaviour exactly.
+Netlist apply_test_points(const Netlist& netlist, const TestPointPlan& plan);
+
+}  // namespace aidft

@@ -1,0 +1,108 @@
+// Packed bit-vector with GF(2) row operations.
+//
+// Used as (a) scan-chain load/unload images and (b) rows of the GF(2) linear
+// systems solved by the EDT-style compression encoder, where xor-assign of
+// whole rows is the inner loop of Gaussian elimination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aidft {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits) : nbits_(nbits), words_(word_count(nbits)) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize(word_count(nbits));
+    trim();
+  }
+
+  bool get(std::size_t i) const {
+    AIDFT_ASSERT(i < nbits_, "BitVec::get out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    AIDFT_ASSERT(i < nbits_, "BitVec::set out of range");
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void flip(std::size_t i) {
+    AIDFT_ASSERT(i < nbits_, "BitVec::flip out of range");
+    words_[i >> 6] ^= 1ull << (i & 63);
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// this ^= other. Sizes must match.
+  BitVec& operator^=(const BitVec& other) {
+    AIDFT_ASSERT(nbits_ == other.nbits_, "BitVec xor size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const BitVec& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// True if no bit is set.
+  bool none() const {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Index of lowest set bit, or size() if none.
+  std::size_t find_first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        const std::size_t bit =
+            (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+        return bit < nbits_ ? bit : nbits_;
+      }
+    }
+    return nbits_;
+  }
+
+  /// Raw word access (read-only), for tests and fast scans.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  static std::size_t word_count(std::size_t nbits) { return (nbits + 63) / 64; }
+
+  // Zero any bits beyond nbits_ in the last word so == and none() stay exact.
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (nbits_ % 64)) - 1;
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aidft

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aidft::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "aidft assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace aidft::detail

@@ -1,0 +1,43 @@
+// Common error type and checked-assertion macros for the aidft library.
+//
+// Library code signals failure to perform a required task with exceptions
+// (Error for user-visible failures); internal invariants are checked with
+// AIDFT_ASSERT, which stays on in release builds because every caller of this
+// library is either a test, a bench, or an offline DFT flow where a loud,
+// early failure is strictly better than silently corrupt test patterns.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aidft {
+
+/// Base exception for all aidft failures (bad netlist, unsolvable encode,
+/// malformed .bench file, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace aidft
+
+/// Always-on invariant check. `msg` may use stream-free string concatenation.
+#define AIDFT_ASSERT(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::aidft::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                    \
+  } while (false)
+
+/// Precondition check on public API boundaries: throws aidft::Error.
+#define AIDFT_REQUIRE(expr, msg)                      \
+  do {                                                \
+    if (!(expr)) [[unlikely]] {                       \
+      throw ::aidft::Error(msg);                      \
+    }                                                 \
+  } while (false)

@@ -1,0 +1,68 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed
+// (random-pattern ATPG bootstrap, fault sampling, workload generation).
+//
+// A fixed in-house generator (xoshiro256**) rather than std::mt19937 so that
+// pattern sets and benchmark workloads are bit-identical across standard
+// library implementations — reproducibility of test sets is a functional
+// requirement for a DFT flow, not a nicety.
+#pragma once
+
+#include <cstdint>
+
+namespace aidft {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias (negligible cost for our use).
+    const std::uint64_t threshold = (0ull - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli with probability p of true.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace aidft

@@ -1,0 +1,118 @@
+// EDT-style embedded deterministic test compression.
+//
+// Stimulus side: a ring-generator LFSR seeded at zero receives `channels`
+// fresh bits per shift cycle (the compressed stimulus), and a phase-shifter
+// XOR network taps its state to feed every scan chain in parallel. Because
+// the whole structure is linear over GF(2), each scan cell's loaded value is
+// a known XOR of the injected channel bits; encoding a test cube is solving
+// that linear system for the cube's care bits (Gaussian elimination). The
+// don't-care cells come out pseudo-random for free — exactly the classic
+// EDT argument for why compression barely costs coverage.
+//
+// Response side: an X-tolerant spatial XOR compactor reduces chain outputs
+// to a few channels, optionally followed by a MISR signature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+struct EdtConfig {
+  std::size_t lfsr_bits = 32;
+  std::size_t channels = 2;        // compressed stimulus bits per shift cycle
+  std::uint64_t seed = 0x0ED72019; // derives taps, injectors, phase shifter
+};
+
+class EdtCodec {
+ public:
+  EdtCodec(const EdtConfig& config, std::size_t num_chains,
+           std::size_t chain_len);
+
+  /// Solves for a channel-input stream delivering every care bit of
+  /// `chain_load` ([chain][cell position], Val3, X = free). Returns one
+  /// BitVec per channel, each warmup_cycles()+chain_len bits (bit t = value
+  /// injected at shift cycle t, warm-up first); nullopt when the care bits
+  /// exceed the linear capacity.
+  std::optional<std::vector<BitVec>> encode(
+      const std::vector<std::vector<Val3>>& chain_load) const;
+
+  /// Runs the concrete decompressor on a channel stream; returns the fully
+  /// specified chain fill it delivers ([chain][cell position]).
+  std::vector<std::vector<bool>> decompress(
+      const std::vector<BitVec>& stream) const;
+
+  /// Scan cells loaded per pattern / compressed bits fed per pattern
+  /// (including warm-up injections).
+  double compression_ratio() const;
+
+  std::size_t num_chains() const { return num_chains_; }
+  std::size_t chain_len() const { return chain_len_; }
+  std::size_t channels() const { return config_.channels; }
+  /// Shift cycles before chain filling starts, used to charge the LFSR with
+  /// enough injected variables that even the first-loaded (deepest) cells
+  /// have rich linear expressions. Without warm-up, cells loaded in cycle 0
+  /// depend on at most `channels` variables and most cubes are unencodable.
+  std::size_t warmup_cycles() const { return warmup_; }
+  /// Channel bits consumed per pattern: channels * (warmup + chain_len).
+  std::size_t bits_per_pattern() const {
+    return config_.channels * (warmup_ + chain_len_);
+  }
+
+ private:
+  EdtConfig config_;
+  std::size_t num_chains_;
+  std::size_t chain_len_;
+  std::size_t warmup_;
+  std::vector<std::size_t> taps_;                   // feedback taps
+  std::vector<std::size_t> injectors_;              // per channel
+  std::vector<std::vector<std::size_t>> ps_taps_;   // per chain: state taps
+};
+
+/// Spatial XOR compactor: chains are grouped; each output channel is the
+/// XOR of its group's scan-out bits each unload cycle.
+class XorCompactor {
+ public:
+  XorCompactor(std::size_t num_chains, std::size_t out_channels);
+
+  std::size_t out_channels() const { return groups_.size(); }
+  const std::vector<std::size_t>& group(std::size_t ch) const {
+    return groups_[ch];
+  }
+
+  /// Compacts per-chain response bits of one unload cycle.
+  std::vector<bool> compact(const std::vector<bool>& chain_bits) const;
+
+  /// True if a difference pattern (per-chain XOR diff flags for one unload
+  /// cycle) survives compaction — i.e. some output channel sees an odd
+  /// number of differing chains. The aliasing analysis of benchmark E4.
+  bool visible(const std::vector<bool>& chain_diffs) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> groups_;
+};
+
+/// Multiple-input signature register over GF(2) (Galois form).
+class Misr {
+ public:
+  explicit Misr(std::size_t bits, std::uint64_t poly_seed = 0x315F);
+
+  void reset() { state_.assign(state_.size(), 0); }
+  /// Absorbs one cycle of parallel response bits (width can be anything;
+  /// inputs beyond `bits` wrap around).
+  void shift_in(const std::vector<bool>& bits_in);
+  /// Current signature, packed LSB-first.
+  std::vector<std::uint64_t> signature() const { return state_; }
+  std::size_t bits() const { return nbits_; }
+
+ private:
+  std::size_t nbits_;
+  std::vector<std::size_t> taps_;
+  std::vector<std::uint64_t> state_;
+};
+
+}  // namespace aidft

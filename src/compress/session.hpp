@@ -1,0 +1,67 @@
+// End-to-end compressed scan test session (the E4 experiment machinery).
+//
+// Takes ATPG cubes in the combinational view, splits each into a primary-
+// input part (driven directly, as on a real tester) and a scan part, encodes
+// the scan part through the EDT codec, decompresses it back through the
+// concrete LFSR (giving the pseudo-random fill of every don't-care cell),
+// and grades the delivered patterns with the fault simulator — once with
+// ideal observation and once through the X-tolerant XOR compactor, so the
+// coverage cost of both encode failures and compaction aliasing is measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/edt.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/scan.hpp"
+
+namespace aidft {
+
+struct CompressedSessionConfig {
+  EdtConfig edt;
+  std::size_t out_channels = 2;  // response compactor width
+  std::uint64_t pi_fill_seed = 7;
+};
+
+struct CompressedSessionResult {
+  std::size_t cubes_offered = 0;
+  std::size_t cubes_encoded = 0;
+  std::size_t encode_failures = 0;
+  std::vector<TestCube> delivered;  // decompressed, fully specified patterns
+
+  std::size_t faults_total = 0;
+  std::size_t detected_baseline = 0;   // same cubes, random X-fill, no codec:
+                                       // the uncompressed-delivery reference
+  std::size_t detected_ideal = 0;      // observing every chain directly
+  std::size_t detected_compacted = 0;  // observing through the compactor
+
+  double stimulus_compression = 0.0;  // scan-cell bits / channel bits
+  double response_compression = 0.0;  // chain outputs / compactor outputs
+
+  double coverage_baseline() const {
+    return faults_total == 0
+               ? 1.0
+               : static_cast<double>(detected_baseline) / faults_total;
+  }
+  double coverage_ideal() const {
+    return faults_total == 0 ? 1.0
+                             : static_cast<double>(detected_ideal) / faults_total;
+  }
+  double coverage_compacted() const {
+    return faults_total == 0
+               ? 1.0
+               : static_cast<double>(detected_compacted) / faults_total;
+  }
+};
+
+/// Runs the session. `cubes` are combinational-view cubes (X allowed), e.g.
+/// raw ATPG output before X-fill — the don't-cares are what compression
+/// exploits.
+CompressedSessionResult run_compressed_session(
+    const Netlist& netlist, const ScanPlan& plan,
+    const std::vector<Fault>& faults, const std::vector<TestCube>& cubes,
+    const CompressedSessionConfig& config);
+
+}  // namespace aidft

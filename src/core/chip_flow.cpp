@@ -1,0 +1,62 @@
+#include "core/chip_flow.hpp"
+
+#include <sstream>
+
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+
+ChipFlowReport run_chip_flow(const Netlist& core, const ChipFlowOptions& options) {
+  AIDFT_REQUIRE(core.finalized(), "core must be finalized");
+  ChipFlowReport report;
+
+  // Core-level DFT, once.
+  report.core = run_dft_flow(core, options.core_flow);
+
+  // Build the SoC and lift the patterns.
+  const aichip::SocNetlist soc =
+      aichip::make_replicated_soc(core, options.num_cores);
+  report.soc_gates = soc.netlist.logic_gate_count();
+  std::vector<TestCube> broadcast;
+  broadcast.reserve(report.core.atpg.patterns.size());
+  for (const TestCube& p : report.core.atpg.patterns) {
+    broadcast.push_back(aichip::broadcast_cube(soc, p));
+  }
+
+  // Measure on the real N-core netlist: full SoC fault list.
+  auto soc_faults = generate_stuck_at_faults(soc.netlist);
+  if (options.core_flow.collapse_faults) {
+    soc_faults = collapse_equivalent(soc.netlist, soc_faults);
+  }
+  report.soc_faults = soc_faults.size();
+  const CampaignResult graded =
+      run_fault_campaign(soc.netlist, soc_faults, broadcast);
+  report.soc_detected = graded.detected;
+
+  // Test-time table.
+  aichip::CoreTestSpec spec;
+  spec.scan_cells = core.dffs().size();
+  spec.patterns = report.core.atpg.patterns.size();
+  report.flat_cycles =
+      aichip::flat_test_cycles(spec, options.num_cores, options.tester);
+  report.sequential_cycles =
+      aichip::sequential_test_cycles(spec, options.num_cores, options.tester);
+  report.broadcast_cycles =
+      aichip::broadcast_test_cycles(spec, options.num_cores, options.tester);
+  return report;
+}
+
+std::string ChipFlowReport::to_string() const {
+  std::ostringstream ss;
+  ss << "== core flow ==\n" << core.to_string();
+  ss << "== chip (replicated cores) ==\n";
+  ss << "soc:    " << soc_gates << " gates, " << soc_faults << " faults\n";
+  ss << "broadcast coverage on full SoC: " << 100.0 * broadcast_coverage()
+     << "% (" << soc_detected << "/" << soc_faults << ")\n";
+  ss << "test time (cycles): flat " << flat_cycles << " | per-core sequential "
+     << sequential_cycles << " | identical-core broadcast " << broadcast_cycles
+     << "\n";
+  return ss.str();
+}
+
+}  // namespace aidft

@@ -1,0 +1,45 @@
+// Chip-level hierarchical DFT flow for replicated-core AI accelerators.
+//
+// Runs the core-level flow ONCE, lifts the resulting patterns to an
+// N-instance SoC by broadcast, and verifies — by fault-simulating the real
+// N-core netlist — that the broadcast set covers the full SoC fault list at
+// the core's coverage. Also tabulates flat / sequential / broadcast test
+// time so the tutorial's "test one core, broadcast to all" argument is a
+// measured number, not a slide claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aichip/soc.hpp"
+#include "aichip/test_time.hpp"
+#include "core/dft_flow.hpp"
+
+namespace aidft {
+
+struct ChipFlowOptions {
+  std::size_t num_cores = 4;
+  DftFlowOptions core_flow;
+  aichip::TesterConfig tester;
+};
+
+struct ChipFlowReport {
+  DftFlowReport core;
+  std::size_t soc_gates = 0;
+  std::size_t soc_faults = 0;
+  std::size_t soc_detected = 0;  // by broadcast patterns, measured on the SoC
+  double broadcast_coverage() const {
+    return soc_faults == 0
+               ? 1.0
+               : static_cast<double>(soc_detected) / static_cast<double>(soc_faults);
+  }
+  std::size_t flat_cycles = 0;
+  std::size_t sequential_cycles = 0;
+  std::size_t broadcast_cycles = 0;
+
+  std::string to_string() const;
+};
+
+ChipFlowReport run_chip_flow(const Netlist& core, const ChipFlowOptions& options);
+
+}  // namespace aidft

@@ -1,0 +1,100 @@
+#include "core/dft_flow.hpp"
+
+#include <sstream>
+
+#include "fault/fault.hpp"
+
+namespace aidft {
+
+DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
+  AIDFT_REQUIRE(nl.finalized(), "run_dft_flow requires finalized netlist");
+  DftFlowReport report;
+  report.stats = compute_stats(nl);
+
+  // Fault universe.
+  const auto universe = generate_stuck_at_faults(nl);
+  report.faults_total = universe.size();
+  const auto faults =
+      options.collapse_faults ? collapse_equivalent(nl, universe) : universe;
+  report.faults_collapsed = faults.size();
+
+  // Scan planning.
+  report.scan_plan = plan_scan_chains(nl, options.scan_chains);
+
+  // ATPG.
+  report.atpg = generate_tests(nl, faults, options.atpg);
+  report.scan_time.patterns = report.atpg.patterns.size();
+  report.scan_time.max_chain_length = report.scan_plan.max_chain_length();
+
+  // Compression (deterministic cubes only — X density is the fuel).
+  if (options.run_compression && !nl.dffs().empty() &&
+      !report.atpg.cubes.empty()) {
+    report.compression_ran = true;
+    report.compression = run_compressed_session(
+        nl, report.scan_plan, faults, report.atpg.cubes, options.compression);
+  }
+
+  // LBIST sign-off.
+  if (options.run_lbist) {
+    report.lbist_ran = true;
+    report.lbist = run_lbist(nl, faults, options.lbist_patterns, options.lbist);
+  }
+
+  // Transition-delay test on the same collapsed lines.
+  if (options.run_transition_atpg) {
+    report.transition_ran = true;
+    const auto tfaults = generate_transition_faults(nl);
+    report.transition = generate_transition_tests(nl, tfaults, options.transition);
+  }
+
+  // Shift-power accounting of the shipped stuck-at patterns.
+  if (options.run_power_analysis && !nl.dffs().empty() &&
+      !report.atpg.patterns.empty()) {
+    report.power_ran = true;
+    report.power = shift_power(nl, report.scan_plan, report.atpg.patterns);
+  }
+  return report;
+}
+
+std::string DftFlowReport::to_string() const {
+  std::ostringstream ss;
+  ss << "design: " << stats.to_string() << "\n";
+  ss << "faults: " << faults_total << " uncollapsed, " << faults_collapsed
+     << " collapsed (ratio "
+     << (faults_total ? static_cast<double>(faults_collapsed) / faults_total : 1.0)
+     << ")\n";
+  ss << "scan:   " << scan_plan.num_chains() << " chains, max length "
+     << scan_plan.max_chain_length() << "\n";
+  ss << "atpg:   " << atpg.patterns.size() << " patterns | coverage "
+     << 100.0 * atpg.fault_coverage() << "% fault / "
+     << 100.0 * atpg.test_coverage() << "% test | " << atpg.untestable
+     << " untestable, " << atpg.aborted << " aborted\n";
+  ss << "        engines: " << atpg.podem_calls << " PODEM calls, "
+     << atpg.sat_calls << " SAT calls, random phase detected "
+     << atpg.random_phase_detected << "\n";
+  ss << "time:   " << scan_time.cycles() << " scan cycles uncompressed\n";
+  if (compression_ran) {
+    ss << "edt:    " << compression.cubes_encoded << "/"
+       << compression.cubes_offered << " cubes encoded, stimulus compression "
+       << compression.stimulus_compression << "x | coverage "
+       << 100.0 * compression.coverage_ideal() << "% ideal / "
+       << 100.0 * compression.coverage_compacted() << "% compacted\n";
+  }
+  if (lbist_ran) {
+    ss << "lbist:  " << lbist.patterns << " patterns -> "
+       << 100.0 * lbist.coverage() << "% coverage\n";
+  }
+  if (transition_ran) {
+    ss << "trans:  " << transition.patterns.size() << " vectors ("
+       << transition.patterns.size() / 2 << " pairs) | coverage "
+       << 100.0 * transition.fault_coverage() << "% fault / "
+       << 100.0 * transition.test_coverage() << "% test\n";
+  }
+  if (power_ran) {
+    ss << "power:  avg WTM/pattern " << power.avg_wtm_per_pattern << ", peak "
+       << power.peak_wtm_pattern << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace aidft

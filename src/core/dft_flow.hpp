@@ -1,0 +1,61 @@
+// DftFlow — the end-to-end DFT methodology the tutorial teaches, as one
+// call: fault universe + collapsing → scan planning → ATPG (random phase,
+// PODEM, SAT fallback, dynamic compaction) → EDT compression → LBIST
+// sign-off → test-time accounting, with a human-readable report.
+//
+// This is the facade a downstream user starts from; every stage is also
+// available individually through the per-module headers.
+#pragma once
+
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "atpg/transition_atpg.hpp"
+#include "bist/lbist.hpp"
+#include "compress/session.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "scan/power.hpp"
+#include "scan/scan.hpp"
+
+namespace aidft {
+
+struct DftFlowOptions {
+  std::size_t scan_chains = 4;
+  bool collapse_faults = true;
+  AtpgOptions atpg;
+  bool run_compression = true;
+  CompressedSessionConfig compression;
+  bool run_lbist = true;
+  std::size_t lbist_patterns = 512;
+  LbistConfig lbist;
+  bool run_transition_atpg = false;  // adds two-vector delay test
+  TransitionAtpgOptions transition;
+  bool run_power_analysis = true;   // WTM of the final stuck-at pattern set
+};
+
+struct DftFlowReport {
+  NetlistStats stats;
+  std::size_t faults_total = 0;      // uncollapsed universe
+  std::size_t faults_collapsed = 0;  // after equivalence collapsing
+  ScanPlan scan_plan;
+  AtpgResult atpg;
+  ScanTimeModel scan_time;           // uncompressed scan session
+  bool compression_ran = false;
+  CompressedSessionResult compression;
+  bool lbist_ran = false;
+  LbistResult lbist;
+  bool transition_ran = false;
+  TransitionAtpgResult transition;
+  bool power_ran = false;
+  ShiftPowerReport power;
+
+  /// Multi-line summary suitable for printing.
+  std::string to_string() const;
+};
+
+/// Runs the full flow on a finalized netlist.
+DftFlowReport run_dft_flow(const Netlist& netlist,
+                           const DftFlowOptions& options = {});
+
+}  // namespace aidft

@@ -1,0 +1,207 @@
+#include "diag/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+
+bool FailLog::any_failure() const {
+  for (const auto& block : blocks) {
+    for (std::uint64_t w : block) {
+      if (w != 0) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FailLog::failing_pattern_count() const {
+  std::size_t n = 0;
+  for (const auto& block : blocks) {
+    std::uint64_t any = 0;
+    for (std::uint64_t w : block) any |= w;
+    n += static_cast<std::size_t>(__builtin_popcountll(any));
+  }
+  return n;
+}
+
+FailLog simulate_defect(const Netlist& nl, const std::vector<TestCube>& patterns,
+                        const Fault& defect) {
+  AIDFT_REQUIRE(defect.kind == FaultKind::kStuckAt,
+                "diagnosis handles stuck-at defects");
+  FailLog log;
+  log.num_patterns = patterns.size();
+  log.num_observe_points = nl.observe_points().size();
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> op_diffs;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.load_batch(pack_patterns(patterns, base, count));
+    fsim.detect_mask_detailed(defect, op_diffs);
+    log.blocks.push_back(op_diffs);
+  }
+  return log;
+}
+
+DiagnosisResult diagnose(const Netlist& nl, const std::vector<TestCube>& patterns,
+                         const FailLog& log, const std::vector<Fault>& candidates) {
+  AIDFT_REQUIRE(log.num_patterns == patterns.size(),
+                "fail log does not match pattern set");
+  DiagnosisResult result;
+  FaultSimulator fsim(nl);
+  std::vector<DiagnosisCandidate> scored(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scored[i].fault = candidates[i];
+  }
+
+  std::vector<std::uint64_t> op_diffs;
+  for (std::size_t base = 0, block = 0; base < patterns.size();
+       base += 64, ++block) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.load_batch(pack_patterns(patterns, base, count));
+    const auto& observed = log.blocks[block];
+    for (auto& cand : scored) {
+      fsim.detect_mask_detailed(cand.fault, op_diffs);
+      for (std::size_t op = 0; op < op_diffs.size(); ++op) {
+        const std::uint64_t pred = op_diffs[op];
+        const std::uint64_t obs = observed[op];
+        cand.tp += static_cast<std::uint64_t>(__builtin_popcountll(pred & obs));
+        cand.fp += static_cast<std::uint64_t>(__builtin_popcountll(pred & ~obs));
+        cand.fn += static_cast<std::uint64_t>(__builtin_popcountll(~pred & obs));
+      }
+    }
+  }
+
+  for (auto& cand : scored) {
+    cand.score = static_cast<double>(cand.tp) -
+                 0.5 * static_cast<double>(cand.fp) -
+                 0.5 * static_cast<double>(cand.fn);
+  }
+  // Keep only candidates that explain at least one failure.
+  scored.erase(std::remove_if(scored.begin(), scored.end(),
+                              [](const DiagnosisCandidate& c) { return c.tp == 0; }),
+               scored.end());
+  std::sort(scored.begin(), scored.end(),
+            [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.fault.gate != b.fault.gate) return a.fault.gate < b.fault.gate;
+              if (a.fault.pin != b.fault.pin) return a.fault.pin < b.fault.pin;
+              return a.fault.value < b.fault.value;
+            });
+  result.ranked = std::move(scored);
+  return result;
+}
+
+FailLog simulate_defects(const Netlist& nl, const std::vector<TestCube>& patterns,
+                         const std::vector<Fault>& defects) {
+  AIDFT_REQUIRE(!defects.empty(), "need at least one defect");
+  FailLog log = simulate_defect(nl, patterns, defects[0]);
+  for (std::size_t d = 1; d < defects.size(); ++d) {
+    const FailLog more = simulate_defect(nl, patterns, defects[d]);
+    for (std::size_t b = 0; b < log.blocks.size(); ++b) {
+      for (std::size_t op = 0; op < log.blocks[b].size(); ++op) {
+        log.blocks[b][op] |= more.blocks[b][op];
+      }
+    }
+  }
+  return log;
+}
+
+MultiDiagnosisResult diagnose_multiplet(const Netlist& nl,
+                                        const std::vector<TestCube>& patterns,
+                                        const FailLog& log,
+                                        const std::vector<Fault>& candidates,
+                                        std::size_t max_defects) {
+  MultiDiagnosisResult result;
+
+  // Predicted fail sets per candidate (computed once).
+  FaultSimulator fsim(nl);
+  const std::size_t nblocks = log.blocks.size();
+  const std::size_t nops = log.num_observe_points;
+  std::vector<std::vector<std::uint64_t>> predicted(
+      candidates.size(), std::vector<std::uint64_t>(nblocks * nops, 0));
+  {
+    std::vector<std::uint64_t> op_diffs;
+    for (std::size_t base = 0, b = 0; base < patterns.size(); base += 64, ++b) {
+      const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+      fsim.load_batch(pack_patterns(patterns, base, count));
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        fsim.detect_mask_detailed(candidates[ci], op_diffs);
+        for (std::size_t op = 0; op < nops; ++op) {
+          predicted[ci][b * nops + op] = op_diffs[op];
+        }
+      }
+    }
+  }
+
+  // Remaining unexplained failures.
+  std::vector<std::uint64_t> remaining(nblocks * nops, 0);
+  std::uint64_t total_events = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (std::size_t op = 0; op < nops; ++op) {
+      remaining[b * nops + op] = log.blocks[b][op];
+      total_events += static_cast<std::uint64_t>(
+          __builtin_popcountll(log.blocks[b][op]));
+    }
+  }
+
+  std::vector<bool> used(candidates.size(), false);
+  while (result.selected.size() < max_defects) {
+    std::size_t best = SIZE_MAX;
+    std::int64_t best_score = 0;
+    std::uint64_t best_tp = 0, best_fp = 0;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (used[ci]) continue;
+      std::uint64_t tp = 0, fp = 0;
+      for (std::size_t w = 0; w < remaining.size(); ++w) {
+        tp += static_cast<std::uint64_t>(
+            __builtin_popcountll(predicted[ci][w] & remaining[w]));
+        // Mispredictions measured against the FULL observed log (a second
+        // defect may already explain an event this one also predicts).
+        const std::uint64_t observed =
+            log.blocks[w / nops][w % nops];
+        fp += static_cast<std::uint64_t>(
+            __builtin_popcountll(predicted[ci][w] & ~observed));
+      }
+      const std::int64_t score =
+          static_cast<std::int64_t>(2 * tp) - static_cast<std::int64_t>(fp);
+      if (tp > 0 && score > best_score) {
+        best_score = score;
+        best = ci;
+        best_tp = tp;
+        best_fp = fp;
+      }
+    }
+    if (best == SIZE_MAX) break;
+    used[best] = true;
+    DiagnosisCandidate chosen;
+    chosen.fault = candidates[best];
+    chosen.tp = best_tp;
+    chosen.fp = best_fp;
+    chosen.score = static_cast<double>(best_score);
+    result.selected.push_back(chosen);
+    for (std::size_t w = 0; w < remaining.size(); ++w) {
+      remaining[w] &= ~predicted[best][w];
+    }
+    bool any = false;
+    for (std::uint64_t w : remaining) any |= (w != 0);
+    if (!any) break;
+  }
+
+  std::uint64_t left = 0;
+  for (std::uint64_t w : remaining) {
+    left += static_cast<std::uint64_t>(__builtin_popcountll(w));
+  }
+  result.unexplained = left;
+  result.explained = total_events - left;
+  return result;
+}
+
+std::size_t DiagnosisResult::rank_of(const Fault& fault) const {
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].fault == fault) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace aidft

@@ -1,0 +1,57 @@
+// Fault-dictionary diagnosis.
+//
+// The other classical diagnosis architecture: instead of re-simulating
+// candidates against each fail log (effect-cause, diag/diagnosis.hpp), the
+// full pass/fail signature of every fault is precomputed ONCE after ATPG
+// and stored; production diagnosis is then a signature lookup. The trade-off
+// is the textbook one — dictionaries give O(1)-ish lookup per failing die
+// but their size scales with faults x patterns (the reason full-response
+// dictionaries died and pass/fail dictionaries survived), while effect-cause
+// pays simulation per die. match() must agree with effect-cause ranking on
+// single stuck-at defects; the tests enforce that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diag/diagnosis.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+class FaultDictionary {
+ public:
+  /// Builds the pass/fail dictionary: one bit per (fault, pattern).
+  FaultDictionary(const Netlist& netlist, const std::vector<Fault>& faults,
+                  const std::vector<TestCube>& patterns);
+
+  /// Per-pattern pass/fail signature of the failing die (bit p of word
+  /// p/64 = pattern p failed), extracted from a tester fail log.
+  static std::vector<std::uint64_t> signature_of(const FailLog& log);
+
+  struct Match {
+    std::size_t fault_index = 0;  // into the construction fault list
+    std::size_t hamming = 0;      // signature distance
+  };
+
+  /// Candidates sorted by Hamming distance between dictionary signature and
+  /// the observed one (distance 0 = exact match). Ties keep fault order.
+  std::vector<Match> match(const std::vector<std::uint64_t>& signature,
+                           std::size_t top_k = 10) const;
+
+  std::size_t num_faults() const { return signatures_.size(); }
+  std::size_t num_patterns() const { return npatterns_; }
+  /// Dictionary storage in bits — the scaling the literature complains about.
+  std::size_t storage_bits() const {
+    return signatures_.size() * words_per_sig_ * 64;
+  }
+
+ private:
+  std::size_t npatterns_ = 0;
+  std::size_t words_per_sig_ = 0;
+  std::vector<std::vector<std::uint64_t>> signatures_;  // per fault
+};
+
+}  // namespace aidft

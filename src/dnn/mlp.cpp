@@ -1,0 +1,139 @@
+#include "dnn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aidft::dnn {
+
+Dataset make_cluster_dataset(std::size_t samples, std::size_t features,
+                             std::size_t classes, std::uint64_t seed,
+                             double noise) {
+  AIDFT_REQUIRE(classes >= 2 && features >= 2, "need >=2 classes and features");
+  Dataset d;
+  d.num_classes = classes;
+  Rng rng(seed);
+  // Class centres: random corners of a +-2 hypercube region. Drawn from a
+  // FIXED generator, independent of `seed`, so train/test splits made with
+  // different seeds sample the same class geometry.
+  Rng centre_rng(0xC147E55ull + classes * 131 + features);
+  std::vector<std::vector<float>> centres(classes, std::vector<float>(features));
+  for (auto& c : centres) {
+    for (auto& v : c) v = centre_rng.next_bool() ? 2.0f : -2.0f;
+  }
+  auto gauss = [&]() {
+    // Box-Muller.
+    const double u1 = std::max(1e-12, rng.next_double());
+    const double u2 = rng.next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  };
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int cls = static_cast<int>(rng.next_below(classes));
+    std::vector<float> x(features);
+    for (std::size_t f = 0; f < features; ++f) {
+      x[f] = centres[cls][f] + static_cast<float>(noise * gauss());
+    }
+    d.x.push_back(std::move(x));
+    d.y.push_back(cls);
+  }
+  return d;
+}
+
+MlpFloat::MlpFloat(std::size_t in, std::size_t hidden, std::size_t out,
+                   std::uint64_t seed)
+    : in_(in), hidden_(hidden), out_(out) {
+  Rng rng(seed);
+  auto init = [&](std::vector<float>& w, std::size_t n, double scale) {
+    w.resize(n);
+    for (auto& v : w) v = static_cast<float>((rng.next_double() * 2 - 1) * scale);
+  };
+  init(w1_, hidden * in, 1.0 / std::sqrt(static_cast<double>(in)));
+  init(w2_, out * hidden, 1.0 / std::sqrt(static_cast<double>(hidden)));
+  b1_.assign(hidden, 0.0f);
+  b2_.assign(out, 0.0f);
+}
+
+std::vector<float> MlpFloat::forward_hidden(const std::vector<float>& x) const {
+  std::vector<float> h(hidden_);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    float acc = b1_[j];
+    for (std::size_t i = 0; i < in_; ++i) acc += w1_[j * in_ + i] * x[i];
+    h[j] = acc > 0 ? acc : 0;
+  }
+  return h;
+}
+
+void MlpFloat::train(const Dataset& data, std::size_t epochs, double lr) {
+  AIDFT_REQUIRE(data.num_features() == in_, "feature width mismatch");
+  const std::size_t n = data.x.size();
+  std::vector<float> h(hidden_), logits(out_), probs(out_), dh(hidden_);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto& x = data.x[s];
+      // Forward.
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        float acc = b1_[j];
+        for (std::size_t i = 0; i < in_; ++i) acc += w1_[j * in_ + i] * x[i];
+        h[j] = acc > 0 ? acc : 0;
+      }
+      float maxl = -1e30f;
+      for (std::size_t k = 0; k < out_; ++k) {
+        float acc = b2_[k];
+        for (std::size_t j = 0; j < hidden_; ++j) acc += w2_[k * hidden_ + j] * h[j];
+        logits[k] = acc;
+        maxl = std::max(maxl, acc);
+      }
+      float denom = 0;
+      for (std::size_t k = 0; k < out_; ++k) {
+        probs[k] = std::exp(logits[k] - maxl);
+        denom += probs[k];
+      }
+      for (std::size_t k = 0; k < out_; ++k) probs[k] /= denom;
+      // Backward (cross-entropy): dlogit_k = p_k - 1{k==y}.
+      std::fill(dh.begin(), dh.end(), 0.0f);
+      for (std::size_t k = 0; k < out_; ++k) {
+        const float dl = probs[k] - (static_cast<int>(k) == data.y[s] ? 1.0f : 0.0f);
+        for (std::size_t j = 0; j < hidden_; ++j) {
+          dh[j] += dl * w2_[k * hidden_ + j];
+          w2_[k * hidden_ + j] -= static_cast<float>(lr) * dl * h[j];
+        }
+        b2_[k] -= static_cast<float>(lr) * dl;
+      }
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        if (h[j] <= 0) continue;  // ReLU gate
+        for (std::size_t i = 0; i < in_; ++i) {
+          w1_[j * in_ + i] -= static_cast<float>(lr) * dh[j] * x[i];
+        }
+        b1_[j] -= static_cast<float>(lr) * dh[j];
+      }
+    }
+  }
+}
+
+int MlpFloat::predict(const std::vector<float>& x) const {
+  const auto h = forward_hidden(x);
+  int best = 0;
+  float best_v = -1e30f;
+  for (std::size_t k = 0; k < out_; ++k) {
+    float acc = b2_[k];
+    for (std::size_t j = 0; j < hidden_; ++j) acc += w2_[k * hidden_ + j] * h[j];
+    if (acc > best_v) {
+      best_v = acc;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double MlpFloat::accuracy(const Dataset& data) const {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    if (predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return data.x.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(data.x.size());
+}
+
+}  // namespace aidft::dnn

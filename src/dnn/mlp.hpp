@@ -1,0 +1,60 @@
+// Minimal deep-learning substrate for the tutorial's AI case study.
+//
+// A float MLP (one hidden ReLU layer, softmax cross-entropy, plain SGD) is
+// trained in-process on a synthetic Gaussian-cluster classification task —
+// the stand-in for production DNN workloads (DESIGN.md substitution table).
+// It is then post-training-quantized to int8 weights/activations with int32
+// accumulation, which makes every inference MAC bit-exact and lets the
+// fault-injection model (dnn/fault_injection.hpp) corrupt specific datapath
+// bits exactly as a stuck-at in the systolic array's multiplier or
+// accumulator would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aidft::dnn {
+
+struct Dataset {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  std::size_t num_classes = 0;
+  std::size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+};
+
+/// Isotropic Gaussian clusters, one per class, centres on a scaled
+/// hypercube-ish lattice; deterministic in `seed`.
+Dataset make_cluster_dataset(std::size_t samples, std::size_t features,
+                             std::size_t classes, std::uint64_t seed,
+                             double noise = 0.6);
+
+/// One-hidden-layer float MLP.
+class MlpFloat {
+ public:
+  MlpFloat(std::size_t in, std::size_t hidden, std::size_t out,
+           std::uint64_t seed);
+
+  void train(const Dataset& data, std::size_t epochs, double lr);
+  int predict(const std::vector<float>& x) const;
+  double accuracy(const Dataset& data) const;
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t hidden_dim() const { return hidden_; }
+  std::size_t out_dim() const { return out_; }
+  // Row-major [out][in] weight access for quantization.
+  const std::vector<float>& w1() const { return w1_; }
+  const std::vector<float>& b1() const { return b1_; }
+  const std::vector<float>& w2() const { return w2_; }
+  const std::vector<float>& b2() const { return b2_; }
+
+ private:
+  std::vector<float> forward_hidden(const std::vector<float>& x) const;
+
+  std::size_t in_, hidden_, out_;
+  std::vector<float> w1_, b1_;  // hidden x in
+  std::vector<float> w2_, b2_;  // out x hidden
+};
+
+}  // namespace aidft::dnn

@@ -1,0 +1,136 @@
+#include "dnn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aidft::dnn {
+namespace {
+
+std::int8_t clamp8(int v) {
+  return static_cast<std::int8_t>(std::clamp(v, -127, 127));
+}
+
+// Forces bit `bit` of a word to `one`, interpreting the word as raw bits.
+std::int32_t force_bit32(std::int32_t w, int bit, bool one) {
+  const auto u = static_cast<std::uint32_t>(w);
+  const std::uint32_t m = 1u << bit;
+  return static_cast<std::int32_t>(one ? (u | m) : (u & ~m));
+}
+
+std::int16_t force_bit16(std::int16_t w, int bit, bool one) {
+  const auto u = static_cast<std::uint16_t>(w);
+  const std::uint16_t m = static_cast<std::uint16_t>(1u << bit);
+  return static_cast<std::int16_t>(one ? (u | m) : (u & ~m));
+}
+
+}  // namespace
+
+std::int32_t MacUnit::mac(std::int32_t acc, std::int8_t a, std::int8_t b,
+                          int channel, int layer) const {
+  const bool here = fault_.site != MacFault::Site::kNone &&
+                    (fault_.channel < 0 || fault_.channel == channel) &&
+                    (fault_.layer < 0 || fault_.layer == layer);
+  auto prod = static_cast<std::int16_t>(static_cast<int>(a) * static_cast<int>(b));
+  if (here && fault_.site == MacFault::Site::kMultiplierOut) {
+    AIDFT_REQUIRE(fault_.bit >= 0 && fault_.bit < 16, "product bit in [0,16)");
+    prod = force_bit16(prod, fault_.bit, fault_.stuck_one);
+  }
+  std::int32_t next = acc + prod;
+  if (here && fault_.site == MacFault::Site::kAccumulator) {
+    AIDFT_REQUIRE(fault_.bit >= 0 && fault_.bit < 32, "acc bit in [0,32)");
+    next = force_bit32(next, fault_.bit, fault_.stuck_one);
+  }
+  return next;
+}
+
+QuantizedMlp QuantizedMlp::quantize(const MlpFloat& model) {
+  QuantizedMlp q;
+  q.in_ = model.in_dim();
+  q.hidden_ = model.hidden_dim();
+  q.out_ = model.out_dim();
+
+  auto max_abs = [](const std::vector<float>& v) {
+    float m = 1e-9f;
+    for (float x : v) m = std::max(m, std::abs(x));
+    return m;
+  };
+  q.in_scale_ = 4.0f / 127.0f;  // inputs live in roughly [-4, 4]
+  q.w1_scale_ = max_abs(model.w1()) / 127.0f;
+  q.w2_scale_ = max_abs(model.w2()) / 127.0f;
+  // Hidden activations requantize to int8; their float scale is estimated
+  // from typical pre-activation magnitude (inputs ~|2|, fan-in in_).
+  q.h_scale_ = 8.0f / 127.0f;
+
+  q.w1_.resize(model.w1().size());
+  for (std::size_t i = 0; i < q.w1_.size(); ++i) {
+    q.w1_[i] = clamp8(static_cast<int>(std::lround(model.w1()[i] / q.w1_scale_)));
+  }
+  q.w2_.resize(model.w2().size());
+  for (std::size_t i = 0; i < q.w2_.size(); ++i) {
+    q.w2_[i] = clamp8(static_cast<int>(std::lround(model.w2()[i] / q.w2_scale_)));
+  }
+  // Biases in accumulator scale.
+  q.b1_.resize(model.b1().size());
+  for (std::size_t i = 0; i < q.b1_.size(); ++i) {
+    q.b1_[i] = static_cast<std::int32_t>(
+        std::lround(model.b1()[i] / (q.in_scale_ * q.w1_scale_)));
+  }
+  q.b2_.resize(model.b2().size());
+  for (std::size_t i = 0; i < q.b2_.size(); ++i) {
+    q.b2_[i] = static_cast<std::int32_t>(
+        std::lround(model.b2()[i] / (q.h_scale_ * q.w2_scale_)));
+  }
+  return q;
+}
+
+std::int8_t QuantizedMlp::quantize_input(float v) const {
+  return clamp8(static_cast<int>(std::lround(v / in_scale_)));
+}
+
+int QuantizedMlp::predict(const std::vector<float>& x, const MacUnit& mac) const {
+  AIDFT_REQUIRE(x.size() == in_, "input width mismatch");
+  std::vector<std::int8_t> xq(in_);
+  for (std::size_t i = 0; i < in_; ++i) xq[i] = quantize_input(x[i]);
+
+  // Layer 1: int32 accumulate, ReLU, requantize to int8.
+  std::vector<std::int8_t> h(hidden_);
+  const float acc1_to_h = (in_scale_ * w1_scale_) / h_scale_;
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    std::int32_t acc = b1_[j];
+    for (std::size_t i = 0; i < in_; ++i) {
+      acc = mac.mac(acc, xq[i], w1_[j * in_ + i], static_cast<int>(j), 0);
+    }
+    if (acc < 0) acc = 0;
+    const auto scaled = static_cast<int>(
+        std::lround(static_cast<double>(acc) * acc1_to_h));
+    h[j] = clamp8(scaled);
+  }
+  // Layer 2: argmax over int32 accumulators.
+  int best = 0;
+  std::int32_t best_v = INT32_MIN;
+  for (std::size_t k = 0; k < out_; ++k) {
+    std::int32_t acc = b2_[k];
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      acc = mac.mac(acc, h[j], w2_[k * hidden_ + j], static_cast<int>(k), 1);
+    }
+    if (acc > best_v) {
+      best_v = acc;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double QuantizedMlp::accuracy(const Dataset& data, const MacUnit& mac) const {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    if (predict(data.x[i], mac) == data.y[i]) ++correct;
+  }
+  return data.x.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(data.x.size());
+}
+
+}  // namespace aidft::dnn

@@ -1,0 +1,72 @@
+// Post-training int8 quantization and faulty-MAC inference.
+//
+// Weights and activations are symmetric-int8; accumulation is int32 —
+// the arithmetic a systolic MAC array performs. The MacUnit is the single
+// point every multiply-accumulate flows through, so a stuck-at injected
+// there corrupts inference exactly as the corresponding hardware defect in
+// a PE would (one output channel is mapped to one PE column, matching the
+// output-stationary array of aichip/systolic.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/mlp.hpp"
+
+namespace aidft::dnn {
+
+/// A stuck-at inside the MAC datapath of one PE (== one output channel).
+struct MacFault {
+  enum class Site : std::uint8_t {
+    kNone,
+    kMultiplierOut,  // bit of the 16-bit product
+    kAccumulator,    // bit of the 32-bit running sum (applied after each add)
+  };
+  Site site = Site::kNone;
+  int bit = 0;             // bit position within the site's word
+  bool stuck_one = false;  // SA1 vs SA0
+  int channel = -1;        // faulty output channel; -1 = every channel
+  int layer = -1;          // restrict to layer 0/1; -1 = both
+};
+
+/// Functional MAC with optional fault injection.
+class MacUnit {
+ public:
+  explicit MacUnit(MacFault fault = {}) : fault_(fault) {}
+
+  /// acc += a*b with the fault applied; `channel`/`layer` select whether
+  /// this MAC runs on the faulty PE.
+  std::int32_t mac(std::int32_t acc, std::int8_t a, std::int8_t b,
+                   int channel, int layer) const;
+
+ private:
+  MacFault fault_;
+};
+
+/// int8 MLP mirroring an MlpFloat.
+class QuantizedMlp {
+ public:
+  static QuantizedMlp quantize(const MlpFloat& model);
+
+  /// Predicts with an optional faulty MAC.
+  int predict(const std::vector<float>& x, const MacUnit& mac = MacUnit()) const;
+
+  double accuracy(const Dataset& data, const MacUnit& mac = MacUnit()) const;
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t hidden_dim() const { return hidden_; }
+  std::size_t out_dim() const { return out_; }
+
+ private:
+  std::int8_t quantize_input(float v) const;
+
+  std::size_t in_ = 0, hidden_ = 0, out_ = 0;
+  std::vector<std::int8_t> w1_, w2_;
+  std::vector<std::int32_t> b1_, b2_;
+  float in_scale_ = 1.0f;      // x_q = round(x / in_scale)
+  float w1_scale_ = 1.0f;
+  float w2_scale_ = 1.0f;
+  float h_scale_ = 1.0f;       // hidden requantization scale
+};
+
+}  // namespace aidft::dnn

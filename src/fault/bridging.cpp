@@ -1,0 +1,74 @@
+#include "fault/bridging.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace aidft {
+namespace {
+
+const char* type_name(BridgeType t) {
+  switch (t) {
+    case BridgeType::kWiredAnd: return "AND";
+    case BridgeType::kWiredOr: return "OR";
+    case BridgeType::kADominatesB: return "ADOM";
+    case BridgeType::kBDominatesA: return "BDOM";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string bridge_name(const Netlist& nl, const BridgingFault& f) {
+  auto gate_label = [&](GateId g) {
+    const auto& name = nl.gate(g).name;
+    return name.empty() ? "n" + std::to_string(g) : name;
+  };
+  return "BR(" + gate_label(f.a) + "," + gate_label(f.b) + ")/" +
+         type_name(f.type);
+}
+
+std::vector<BridgingFault> sample_bridging_faults(
+    const Netlist& nl, std::size_t count, std::uint64_t seed,
+    const std::vector<BridgeType>& types) {
+  AIDFT_REQUIRE(nl.finalized(), "bridging sampler requires finalized netlist");
+  AIDFT_REQUIRE(!types.empty(), "need at least one bridge type");
+  // Bucket eligible gates by level.
+  std::vector<std::vector<GateId>> by_level(nl.num_levels());
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.type(id);
+    if (t == GateType::kOutput || t == GateType::kConst0 ||
+        t == GateType::kConst1) {
+      continue;
+    }
+    if (nl.gate(id).fanout.empty()) continue;  // unobservable net
+    by_level[nl.gate(id).level].push_back(id);
+  }
+  std::vector<std::uint32_t> fat_levels;
+  for (std::uint32_t lvl = 0; lvl < by_level.size(); ++lvl) {
+    if (by_level[lvl].size() >= 2) fat_levels.push_back(lvl);
+  }
+  std::vector<BridgingFault> out;
+  if (fat_levels.empty()) return out;
+
+  Rng rng(seed);
+  std::size_t attempts = 0;
+  std::vector<std::pair<GateId, GateId>> seen;
+  while (seen.size() < count && attempts < count * 20) {
+    ++attempts;
+    const auto& bucket = by_level[fat_levels[rng.next_below(fat_levels.size())]];
+    const GateId a = bucket[rng.next_below(bucket.size())];
+    const GateId b = bucket[rng.next_below(bucket.size())];
+    if (a == b) continue;
+    const auto pair = std::minmax(a, b);
+    const std::pair<GateId, GateId> key{pair.first, pair.second};
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    for (BridgeType t : types) {
+      out.push_back(BridgingFault{key.first, key.second, t});
+    }
+  }
+  return out;
+}
+
+}  // namespace aidft

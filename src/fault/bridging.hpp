@@ -1,0 +1,45 @@
+// Bridging (short) fault model.
+//
+// A bridge ties two nets together; the classic electrical abstractions are
+// wired-AND, wired-OR, and dominance (one driver wins). Bridge candidates
+// between *same-level* gates are used throughout: equal topological level
+// guarantees no combinational path between the two nets, so the bridge
+// cannot create a feedback loop (which would need oscillation analysis) —
+// and it doubles as a cheap layout-proximity proxy in the absence of real
+// physical data (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+enum class BridgeType : std::uint8_t {
+  kWiredAnd,    // both nets read AND of the two driven values
+  kWiredOr,     // both nets read OR
+  kADominatesB, // net b reads net a's value
+  kBDominatesA, // net a reads net b's value
+};
+
+struct BridgingFault {
+  GateId a = kNoGate;
+  GateId b = kNoGate;
+  BridgeType type = BridgeType::kWiredAnd;
+
+  friend bool operator==(const BridgingFault&, const BridgingFault&) = default;
+};
+
+std::string bridge_name(const Netlist& netlist, const BridgingFault& fault);
+
+/// Samples up to `count` distinct same-level gate pairs (excluding IO
+/// markers and constants), emitting one fault per requested type per pair.
+/// Deterministic in `seed`.
+std::vector<BridgingFault> sample_bridging_faults(
+    const Netlist& netlist, std::size_t count, std::uint64_t seed,
+    const std::vector<BridgeType>& types = {BridgeType::kWiredAnd,
+                                            BridgeType::kWiredOr});
+
+}  // namespace aidft

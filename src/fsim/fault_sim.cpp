@@ -1,0 +1,465 @@
+#include "fsim/fault_sim.hpp"
+
+#include <algorithm>
+
+namespace aidft {
+
+FaultSimulator::FaultSimulator(const Netlist& netlist)
+    : netlist_(&netlist),
+      good_sim_(netlist),
+      faulty_(netlist.num_gates(), 0),
+      epoch_(netlist.num_gates(), 0),
+      buckets_(netlist.num_levels() + 1),
+      queued_(netlist.num_gates(), false),
+      observed_(netlist.num_gates(), false),
+      op_index_of_gate_(netlist.num_gates()) {
+  const auto points = netlist.observe_points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const GateId og = netlist.observed_gate(points[i]);
+    observed_[og] = true;
+    op_index_of_gate_[og].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void FaultSimulator::load_batch(const PatternBatch& batch) {
+  good_sim_.simulate(batch);
+  good_.assign(netlist_->num_gates(), 0);
+  for (GateId id = 0; id < netlist_->num_gates(); ++id) {
+    good_[id] = good_sim_.value(id);
+  }
+  lane_mask_ = batch.lane_mask();
+}
+
+void FaultSimulator::load_launch_batch(const PatternBatch& batch) {
+  ParallelSimulator sim(*netlist_);
+  sim.simulate(batch);
+  launch_good_.assign(netlist_->num_gates(), 0);
+  for (GateId id = 0; id < netlist_->num_gates(); ++id) {
+    launch_good_[id] = sim.value(id);
+  }
+  launch_lane_mask_ = batch.lane_mask();
+}
+
+std::uint64_t FaultSimulator::line_value(const Fault& f) const {
+  AIDFT_REQUIRE(!good_.empty(), "load_batch() before line_value()");
+  if (f.is_stem()) return good_[f.gate];
+  return good_[netlist_->gate(f.gate).fanin[f.pin]];
+}
+
+std::uint64_t FaultSimulator::propagate(const Fault& fault,
+                                        const std::vector<std::uint64_t>& good,
+                                        std::uint64_t lane_mask,
+                                        std::vector<std::uint64_t>* op_diffs) {
+  const Netlist& nl = *netlist_;
+  ++cur_epoch_;
+  if (cur_epoch_ == 0) {  // wrapped: invalidate all tags
+    std::fill(epoch_.begin(), epoch_.end(), 0);
+    cur_epoch_ = 1;
+  }
+  auto fval = [&](GateId g) -> std::uint64_t {
+    return epoch_[g] == cur_epoch_ ? faulty_[g] : good[g];
+  };
+  auto set_fval = [&](GateId g, std::uint64_t v) {
+    faulty_[g] = v;
+    epoch_[g] = cur_epoch_;
+  };
+
+  const std::uint64_t stuck_word = fault.stuck_at_one() ? ~0ull : 0ull;
+
+  auto record_diff = [&](GateId og, std::uint64_t diff) {
+    if (op_diffs == nullptr) return;
+    for (std::uint32_t op : op_index_of_gate_[og]) (*op_diffs)[op] |= diff;
+  };
+
+  // A DFF D-pin fault corrupts only the captured value, which is observed
+  // directly at scan-out: activation is detection, nothing propagates.
+  if (!fault.is_stem() && nl.type(fault.gate) == GateType::kDff) {
+    const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
+    const std::uint64_t diff = (good[driver] ^ stuck_word) & lane_mask;
+    if (op_diffs != nullptr && diff != 0) {
+      // Only this flop's own observe point fails.
+      const auto points = nl.observe_points();
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i] == fault.gate) (*op_diffs)[i] |= diff;
+      }
+    }
+    return diff;
+  }
+
+  std::uint64_t detect = 0;
+
+  auto enqueue_fanouts = [&](GateId g) {
+    for (GateId s : nl.gate(g).fanout) {
+      if (is_state_element(nl.type(s))) continue;  // captured, not propagated
+      if (!queued_[s]) {
+        queued_[s] = true;
+        buckets_[nl.gate(s).level].push_back(s);
+      }
+    }
+  };
+
+  // --- inject -------------------------------------------------------------
+  if (fault.is_stem()) {
+    const std::uint64_t diff = (good[fault.gate] ^ stuck_word) & lane_mask;
+    if (diff == 0) return 0;
+    set_fval(fault.gate, stuck_word);
+    if (observed_[fault.gate]) {
+      detect |= diff;
+      record_diff(fault.gate, diff);
+    }
+    enqueue_fanouts(fault.gate);
+  } else {
+    const Gate& g = nl.gate(fault.gate);
+    const std::uint64_t nv = eval_gate_words(
+        g.type, g.fanin.size(), [&](std::size_t i) {
+          return i == fault.pin ? stuck_word : good[g.fanin[i]];
+        });
+    const std::uint64_t diff = (nv ^ good[fault.gate]) & lane_mask;
+    if (diff == 0) return 0;
+    set_fval(fault.gate, nv);
+    if (observed_[fault.gate]) {
+      detect |= diff;
+      record_diff(fault.gate, diff);
+    }
+    enqueue_fanouts(fault.gate);
+  }
+
+  // --- levelized forward propagation ---------------------------------------
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    auto& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId id = bucket[i];
+      queued_[id] = false;
+      const Gate& g = nl.gate(id);
+      std::uint64_t nv = eval_gate_words(
+          g.type, g.fanin.size(),
+          [&](std::size_t k) { return fval(g.fanin[k]); });
+      // Re-injection at the fault site: a faulty effect reconverging onto
+      // the faulted line keeps the stuck value / forced pin.
+      if (id == fault.gate) {
+        if (fault.is_stem()) {
+          nv = stuck_word;
+        } else {
+          nv = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
+            return k == fault.pin ? stuck_word : fval(g.fanin[k]);
+          });
+        }
+      }
+      if (nv != fval(id)) {
+        set_fval(id, nv);
+        if (observed_[id]) {
+          const std::uint64_t d = (nv ^ good[id]) & lane_mask;
+          detect |= d;
+          record_diff(id, d);
+        }
+        enqueue_fanouts(id);
+      }
+    }
+    bucket.clear();
+  }
+  return detect & lane_mask;
+}
+
+std::uint64_t FaultSimulator::detect_mask(const Fault& fault) {
+  AIDFT_REQUIRE(!good_.empty(), "load_batch() before detect_mask()");
+  if (fault.kind == FaultKind::kStuckAt) {
+    return propagate(fault, good_, lane_mask_);
+  }
+  // Transition fault: launch must set the line to the initial value
+  // (opposite of the final `value`), capture must detect stuck-at(initial).
+  AIDFT_REQUIRE(!launch_good_.empty(),
+                "load_launch_batch() before transition detect_mask()");
+  const GateId line_gate = fault.is_stem()
+                               ? fault.gate
+                               : netlist_->gate(fault.gate).fanin[fault.pin];
+  const std::uint64_t init_word = launch_good_[line_gate];
+  // slow-to-rise (value==1): needs launch value 0; fault behaves as SA0.
+  const std::uint64_t armed =
+      fault.stuck_at_one() ? ~init_word : init_word;  // lanes with init value
+  Fault as_stuck = fault;
+  as_stuck.kind = FaultKind::kStuckAt;
+  as_stuck.value = fault.value ? 0 : 1;  // stuck at the *initial* value
+  const std::uint64_t det = propagate(as_stuck, good_, lane_mask_);
+  return det & armed & launch_lane_mask_ & lane_mask_;
+}
+
+std::uint64_t FaultSimulator::detect_mask_iddq(const Fault& fault) {
+  AIDFT_REQUIRE(!good_.empty(), "load_batch() before detect_mask_iddq()");
+  AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
+                "IDDQ grades stuck-at (pseudo-stuck-at) faults");
+  const std::uint64_t stuck_word = fault.stuck_at_one() ? ~0ull : 0ull;
+  return (line_value(fault) ^ stuck_word) & lane_mask_;
+}
+
+std::uint64_t FaultSimulator::detect_mask_bridging(const BridgingFault& fault) {
+  AIDFT_REQUIRE(!good_.empty(), "load_batch() before detect_mask_bridging()");
+  const Netlist& nl = *netlist_;
+  AIDFT_REQUIRE(fault.a < nl.num_gates() && fault.b < nl.num_gates() &&
+                    fault.a != fault.b,
+                "bridging fault sites invalid");
+  const std::uint64_t va = good_[fault.a];
+  const std::uint64_t vb = good_[fault.b];
+  std::uint64_t na = va, nb = vb;
+  switch (fault.type) {
+    case BridgeType::kWiredAnd: na = nb = va & vb; break;
+    case BridgeType::kWiredOr: na = nb = va | vb; break;
+    case BridgeType::kADominatesB: nb = va; break;
+    case BridgeType::kBDominatesA: na = vb; break;
+  }
+
+  ++cur_epoch_;
+  if (cur_epoch_ == 0) {
+    std::fill(epoch_.begin(), epoch_.end(), 0);
+    cur_epoch_ = 1;
+  }
+  auto fval = [&](GateId g) -> std::uint64_t {
+    return epoch_[g] == cur_epoch_ ? faulty_[g] : good_[g];
+  };
+  auto set_fval = [&](GateId g, std::uint64_t v) {
+    faulty_[g] = v;
+    epoch_[g] = cur_epoch_;
+  };
+  std::uint64_t detect = 0;
+  auto enqueue_fanouts = [&](GateId g) {
+    for (GateId s : nl.gate(g).fanout) {
+      if (is_state_element(nl.type(s))) continue;
+      if (!queued_[s]) {
+        queued_[s] = true;
+        buckets_[nl.gate(s).level].push_back(s);
+      }
+    }
+  };
+  auto inject = [&](GateId g, std::uint64_t nv, std::uint64_t old) {
+    const std::uint64_t diff = (nv ^ old) & lane_mask_;
+    if (diff == 0) return;
+    set_fval(g, nv);
+    if (observed_[g]) detect |= diff;
+    enqueue_fanouts(g);
+  };
+  inject(fault.a, na, va);
+  inject(fault.b, nb, vb);
+  if (detect == 0 && epoch_[fault.a] != cur_epoch_ &&
+      epoch_[fault.b] != cur_epoch_) {
+    return 0;  // bridge never excited by this batch
+  }
+
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    auto& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId id = bucket[i];
+      queued_[id] = false;
+      // Bridged nets hold their forced value regardless of reconvergence
+      // (no path can exist between same-level nets, but be safe).
+      if (id == fault.a || id == fault.b) continue;
+      const Gate& g = nl.gate(id);
+      const std::uint64_t nv = eval_gate_words(
+          g.type, g.fanin.size(),
+          [&](std::size_t k) { return fval(g.fanin[k]); });
+      if (nv != fval(id)) {
+        set_fval(id, nv);
+        if (observed_[id]) detect |= (nv ^ good_[id]) & lane_mask_;
+        enqueue_fanouts(id);
+      }
+    }
+    bucket.clear();
+  }
+  return detect & lane_mask_;
+}
+
+std::uint64_t FaultSimulator::detect_mask_detailed(
+    const Fault& fault, std::vector<std::uint64_t>& op_diffs) {
+  AIDFT_REQUIRE(!good_.empty(), "load_batch() before detect_mask_detailed()");
+  AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
+                "detailed masks are for stuck-at faults");
+  op_diffs.assign(netlist_->observe_points().size(), 0);
+  return propagate(fault, good_, lane_mask_, &op_diffs);
+}
+
+std::uint64_t FaultSimulator::detect_mask_reference(const PatternBatch& batch,
+                                                    const Fault& fault) {
+  AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
+                "reference engine grades stuck-at faults only");
+  const Netlist& nl = *netlist_;
+  // Good machine.
+  ParallelSimulator good(nl);
+  good.simulate(batch);
+  if (!fault.is_stem() && nl.type(fault.gate) == GateType::kDff) {
+    const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
+    const std::uint64_t stuck = fault.stuck_at_one() ? ~0ull : 0ull;
+    return (good.value(driver) ^ stuck) & batch.lane_mask();
+  }
+  // Faulty machine: full sweep with the site overridden.
+  const std::uint64_t stuck_word = fault.stuck_at_one() ? ~0ull : 0ull;
+  std::vector<std::uint64_t> fv(nl.num_gates(), 0);
+  const auto comb_inputs = nl.combinational_inputs();
+  for (std::size_t i = 0; i < comb_inputs.size(); ++i) {
+    fv[comb_inputs[i]] = batch.words[i];
+  }
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (is_source(g.type) || is_state_element(g.type)) {
+      if (g.type == GateType::kConst1) fv[id] = ~0ull;
+      if (g.type == GateType::kConst0) fv[id] = 0;
+    } else if (!fault.is_stem() && id == fault.gate) {
+      fv[id] = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
+        return k == fault.pin ? stuck_word : fv[g.fanin[k]];
+      });
+    } else {
+      fv[id] = eval_gate_words(g.type, g.fanin.size(),
+                               [&](std::size_t k) { return fv[g.fanin[k]]; });
+    }
+    if (fault.is_stem() && id == fault.gate) fv[id] = stuck_word;
+  }
+  std::uint64_t detect = 0;
+  for (GateId op : nl.observe_points()) {
+    const GateId og = nl.observed_gate(op);
+    detect |= good.value(og) ^ fv[og];
+  }
+  return detect & batch.lane_mask();
+}
+
+namespace {
+
+CampaignResult run_campaign_impl(const Netlist& nl, std::span<const Fault> faults,
+                                 const std::vector<TestCube>& patterns,
+                                 bool reference_engine) {
+  CampaignResult r;
+  r.total_faults = faults.size();
+  r.first_detected_by.assign(faults.size(), -1);
+  r.detected_after.assign(patterns.size(), 0);
+  if (patterns.empty() || faults.empty()) return r;
+
+  FaultSimulator fsim(nl);
+  std::vector<std::size_t> alive(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) alive[i] = i;
+
+  const std::size_t width = nl.combinational_inputs().size();
+  for (const auto& p : patterns) {
+    AIDFT_REQUIRE(p.size() == width, "pattern width mismatch");
+    for (Val3 v : p.bits) {
+      AIDFT_REQUIRE(v != Val3::kX, "campaign patterns must be fully specified");
+    }
+  }
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const PatternBatch batch = pack_patterns(patterns, base, count);
+    fsim.load_batch(batch);
+    // Launch batch for transition grading: the previous pattern of each lane
+    // (lane p's launch = pattern base+p-1; lane 0 of the first batch is
+    // unarmed). Build it by shifting the pattern window back by one.
+    bool any_transition = false;
+    for (std::size_t ai : alive) {
+      if (faults[ai].kind == FaultKind::kTransition) {
+        any_transition = true;
+        break;
+      }
+    }
+    if (any_transition) {
+      const std::size_t lbase = base == 0 ? 0 : base - 1;
+      PatternBatch launch = pack_patterns(patterns, lbase, count);
+      if (base == 0) {
+        // Lane 0 has no predecessor: keep it but mark it unarmed by copying
+        // lane 0 of the capture batch (init == final ⇒ never armed).
+        for (std::size_t i = 0; i < width; ++i) {
+          launch.words[i] = (launch.words[i] << 1) | (batch.words[i] & 1ull);
+        }
+      }
+      launch.npatterns = count;
+      fsim.load_launch_batch(launch);
+    }
+
+    std::vector<std::size_t> still_alive;
+    still_alive.reserve(alive.size());
+    for (std::size_t ai : alive) {
+      std::uint64_t mask;
+      if (reference_engine) {
+        mask = fsim.detect_mask_reference(batch, faults[ai]);
+      } else {
+        mask = fsim.detect_mask(faults[ai]);
+      }
+      if (mask != 0) {
+        const auto lane = static_cast<std::size_t>(__builtin_ctzll(mask));
+        r.first_detected_by[ai] = static_cast<std::int64_t>(base + lane);
+        ++r.detected;
+      } else {
+        still_alive.push_back(ai);
+      }
+    }
+    alive = std::move(still_alive);
+    if (alive.empty()) break;
+  }
+
+  // Cumulative curve.
+  std::vector<std::size_t> per_pattern(patterns.size(), 0);
+  for (std::int64_t fd : r.first_detected_by) {
+    if (fd >= 0) ++per_pattern[static_cast<std::size_t>(fd)];
+  }
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    run += per_pattern[i];
+    r.detected_after[i] = run;
+  }
+  return r;
+}
+
+}  // namespace
+
+CampaignResult run_fault_campaign(const Netlist& nl, std::span<const Fault> faults,
+                                  const std::vector<TestCube>& patterns) {
+  return run_campaign_impl(nl, faults, patterns, /*reference_engine=*/false);
+}
+
+CampaignResult run_fault_campaign_reference(const Netlist& nl,
+                                            std::span<const Fault> faults,
+                                            const std::vector<TestCube>& patterns) {
+  for (const Fault& f : faults) {
+    AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
+                  "reference campaign grades stuck-at faults only");
+  }
+  return run_campaign_impl(nl, faults, patterns, /*reference_engine=*/true);
+}
+
+CampaignResult run_bridging_campaign(const Netlist& nl,
+                                     std::span<const BridgingFault> faults,
+                                     const std::vector<TestCube>& patterns) {
+  CampaignResult r;
+  r.total_faults = faults.size();
+  r.first_detected_by.assign(faults.size(), -1);
+  r.detected_after.assign(patterns.size(), 0);
+  if (patterns.empty() || faults.empty()) return r;
+
+  FaultSimulator fsim(nl);
+  std::vector<std::size_t> alive(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) alive[i] = i;
+  for (std::size_t base = 0; base < patterns.size() && !alive.empty();
+       base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.load_batch(pack_patterns(patterns, base, count));
+    std::vector<std::size_t> still;
+    still.reserve(alive.size());
+    for (std::size_t ai : alive) {
+      const std::uint64_t mask = fsim.detect_mask_bridging(faults[ai]);
+      if (mask != 0) {
+        r.first_detected_by[ai] =
+            static_cast<std::int64_t>(base + __builtin_ctzll(mask));
+        ++r.detected;
+      } else {
+        still.push_back(ai);
+      }
+    }
+    alive = std::move(still);
+  }
+  std::vector<std::size_t> per_pattern(patterns.size(), 0);
+  for (std::int64_t fd : r.first_detected_by) {
+    if (fd >= 0) ++per_pattern[static_cast<std::size_t>(fd)];
+  }
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    run += per_pattern[i];
+    r.detected_after[i] = run;
+  }
+  return r;
+}
+
+}  // namespace aidft

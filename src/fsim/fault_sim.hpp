@@ -1,0 +1,137 @@
+// Fault simulation engines.
+//
+// Two engines over the same fault model:
+//  * reference: full-circuit resimulation with the fault injected — simple,
+//    obviously correct, used as the oracle in tests and the "serial"
+//    baseline in benchmark E3;
+//  * PPSFP (parallel-pattern single-fault propagation): one good-machine
+//    simulation per 64-pattern batch, then per-fault event-driven forward
+//    propagation of only the differing cone, with an epoch trick so no
+//    per-fault state reset is needed. This is the engine every campaign
+//    (ATPG dropping, BIST grading, diagnosis) runs on.
+//
+// Transition-delay faults are graded on pattern *pairs* (launch, capture):
+// the launch vector must set the line to the transition's initial value and
+// the capture vector must detect the corresponding stuck-at.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/bridging.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace aidft {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& netlist);
+
+  /// Loads a capture batch: runs the good-machine simulation and caches it.
+  void load_batch(const PatternBatch& batch);
+
+  /// Loads the launch batch for transition grading (values the lines held
+  /// in the cycle before capture).
+  void load_launch_batch(const PatternBatch& batch);
+
+  /// Lanes (bit p = pattern p of the loaded batch) on which `fault` is
+  /// detected at any observe point. Requires load_batch(); transition faults
+  /// additionally require load_launch_batch().
+  std::uint64_t detect_mask(const Fault& fault);
+
+  /// Like detect_mask() for stuck-at faults, but additionally fills
+  /// `op_diffs` (resized to observe_points().size()) with the per-observe-
+  /// point difference words — the raw failing-cycle data a tester would log.
+  /// Used by response compaction (aliasing analysis) and diagnosis.
+  std::uint64_t detect_mask_detailed(const Fault& fault,
+                                     std::vector<std::uint64_t>& op_diffs);
+
+  /// Oracle: full resimulation with the fault injected; same contract as
+  /// detect_mask() for stuck-at faults.
+  std::uint64_t detect_mask_reference(const PatternBatch& batch,
+                                      const Fault& fault);
+
+  /// Lanes on which a bridging fault is detected. The two nets must have no
+  /// combinational path between them (guaranteed by same-level candidates
+  /// from sample_bridging_faults); otherwise behaviour is the zero-delay
+  /// approximation that ignores feedback.
+  std::uint64_t detect_mask_bridging(const BridgingFault& fault);
+
+  /// IDDQ (pseudo-stuck-at) detection: an elevated quiescent current flows
+  /// whenever the defect site is *activated* — the line driven to the
+  /// opposite of its stuck value — no propagation to an observe point
+  /// needed. This is why a handful of IDDQ vectors covers what takes
+  /// hundreds of logic vectors (benchmark E16).
+  std::uint64_t detect_mask_iddq(const Fault& fault);
+
+  /// Good-machine value of the *line* a fault sits on (driver value for pin
+  /// faults), from the loaded batch.
+  std::uint64_t line_value(const Fault& fault) const;
+
+  const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  std::uint64_t propagate(const Fault& fault,
+                          const std::vector<std::uint64_t>& good,
+                          std::uint64_t lane_mask,
+                          std::vector<std::uint64_t>* op_diffs = nullptr);
+
+  const Netlist* netlist_;
+  ParallelSimulator good_sim_;
+  std::vector<std::uint64_t> good_;         // cached good values (capture)
+  std::vector<std::uint64_t> launch_good_;  // cached good values (launch)
+  std::uint64_t lane_mask_ = 0;
+  std::uint64_t launch_lane_mask_ = 0;
+
+  // Per-fault propagation scratch (epoch-tagged faulty values).
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t cur_epoch_ = 0;
+  std::vector<std::vector<GateId>> buckets_;  // levelized work queue
+  std::vector<bool> queued_;
+  std::vector<bool> observed_;  // gate feeds a PO marker value or a DFF D pin
+  // observed gate -> indices into observe_points() (a gate can be observed
+  // by several points, e.g. a net driving a PO marker and a flop D pin).
+  std::vector<std::vector<std::uint32_t>> op_index_of_gate_;
+};
+
+/// Result of grading a pattern set against a fault list.
+struct CampaignResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  /// Per fault: index of first detecting pattern (capture pattern for
+  /// transition faults), or -1 if undetected.
+  std::vector<std::int64_t> first_detected_by;
+  /// Cumulative detected count after pattern i (coverage curve).
+  std::vector<std::size_t> detected_after;
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected) / static_cast<double>(total_faults);
+  }
+};
+
+/// Grades fully specified `patterns` against `faults` with fault dropping.
+/// Stuck-at faults are graded per pattern; transition faults on consecutive
+/// pattern pairs (launch = i-1, capture = i; pattern 0 cannot detect them).
+CampaignResult run_fault_campaign(const Netlist& netlist,
+                                  std::span<const Fault> faults,
+                                  const std::vector<TestCube>& patterns);
+
+/// Reference-engine campaign (full resim per fault); used by tests and as
+/// the E3 baseline. Stuck-at only.
+CampaignResult run_fault_campaign_reference(const Netlist& netlist,
+                                            std::span<const Fault> faults,
+                                            const std::vector<TestCube>& patterns);
+
+/// Grades a pattern set against bridging faults (with dropping). The
+/// CampaignResult indexes follow `faults` order.
+CampaignResult run_bridging_campaign(const Netlist& netlist,
+                                     std::span<const BridgingFault> faults,
+                                     const std::vector<TestCube>& patterns);
+
+}  // namespace aidft

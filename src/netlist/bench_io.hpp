@@ -1,0 +1,33 @@
+// Reader/writer for the ISCAS-85/89 ".bench" netlist format.
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G23 = DFF(G10)
+//
+// The reader accepts the gate vocabulary of GateType (AND/NAND/OR/NOR/XOR/
+// XNOR/NOT/BUF/BUFF/DFF/MUX/CONST0/CONST1), is case-insensitive on keywords,
+// and resolves forward references. The writer round-trips anything the
+// library builds, so generated circuits can be exported for external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+/// Parses .bench text into a finalized netlist. Throws Error with a
+/// line-numbered message on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name = "bench");
+Netlist read_bench_string(const std::string& text,
+                          std::string circuit_name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+/// Serialises a finalized netlist as .bench text.
+void write_bench(const Netlist& netlist, std::ostream& out);
+std::string write_bench_string(const Netlist& netlist);
+
+}  // namespace aidft

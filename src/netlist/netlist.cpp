@@ -1,0 +1,204 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace aidft {
+
+std::string_view to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kOutput: return "OUTPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+GateId Netlist::add_gate(GateType type, std::string name) {
+  AIDFT_REQUIRE(!finalized_, "cannot add gates after finalize()");
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.name = std::move(name);
+  if (!g.name.empty()) {
+    auto [it, inserted] = by_name_.emplace(g.name, id);
+    AIDFT_REQUIRE(inserted, "duplicate gate name: " + g.name);
+  }
+  gates_.push_back(std::move(g));
+  switch (type) {
+    case GateType::kInput: inputs_.push_back(id); break;
+    case GateType::kOutput: outputs_.push_back(id); break;
+    case GateType::kDff: dffs_.push_back(id); break;
+    default: break;
+  }
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::span<const GateId> fanin,
+                         std::string name) {
+  const GateId id = add_gate(type, std::move(name));
+  for (GateId f : fanin) connect(f, id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::initializer_list<GateId> fanin,
+                         std::string name) {
+  return add_gate(type, std::span<const GateId>(fanin.begin(), fanin.size()),
+                  std::move(name));
+}
+
+GateId Netlist::add_input(std::string name) {
+  return add_gate(GateType::kInput, std::move(name));
+}
+
+GateId Netlist::add_output(GateId driver, std::string name) {
+  const GateId id = add_gate(GateType::kOutput, std::move(name));
+  connect(driver, id);
+  return id;
+}
+
+GateId Netlist::add_dff(GateId d_input, std::string name) {
+  const GateId id = add_gate(GateType::kDff, std::move(name));
+  connect(d_input, id);
+  return id;
+}
+
+void Netlist::connect(GateId driver, GateId sink) {
+  AIDFT_REQUIRE(!finalized_, "cannot connect after finalize()");
+  AIDFT_REQUIRE(driver < gates_.size() && sink < gates_.size(),
+                "connect: gate id out of range");
+  gates_[sink].fanin.push_back(driver);
+}
+
+void Netlist::check_arity(GateId id) const {
+  const Gate& g = gates_[id];
+  const std::size_t n = g.fanin.size();
+  auto fail = [&](const char* need) {
+    throw Error("gate " + std::to_string(id) + " (" +
+                std::string(to_string(g.type)) + (g.name.empty() ? "" : ", " + g.name) +
+                "): expected " + need + " fanin(s), got " + std::to_string(n));
+  };
+  switch (g.type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      if (n != 0) fail("0");
+      break;
+    case GateType::kOutput:
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      if (n != 1) fail("1");
+      break;
+    case GateType::kMux:
+      if (n != 3) fail("3 (sel,d0,d1)");
+      break;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      if (n < 1) fail(">=1");
+      break;
+  }
+  for (GateId f : g.fanin) {
+    if (f >= gates_.size()) fail("valid");
+    if (gates_[f].type == GateType::kOutput) {
+      throw Error("gate " + std::to_string(id) +
+                  " uses an OUTPUT marker as fanin");
+    }
+  }
+}
+
+void Netlist::finalize() {
+  AIDFT_REQUIRE(!finalized_, "finalize() called twice");
+  for (GateId id = 0; id < gates_.size(); ++id) check_arity(id);
+
+  // Fanout lists.
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (GateId f : gates_[id].fanin) gates_[f].fanout.push_back(id);
+  }
+
+  // Kahn's algorithm over the combinational graph. DFFs break cycles: a DFF
+  // is a source (its Q is available at time 0); its D-input edge is not a
+  // topological dependency of the DFF node itself.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  std::queue<GateId> ready;
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (is_source(g.type) || is_state_element(g.type)) {
+      pending[id] = 0;
+      ready.push(id);
+    } else {
+      pending[id] = static_cast<std::uint32_t>(g.fanin.size());
+      if (pending[id] == 0) ready.push(id);  // defensive; arity check forbids
+    }
+  }
+  topo_.clear();
+  topo_.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateId id = ready.front();
+    ready.pop();
+    Gate& g = gates_[id];
+    g.level = 0;
+    if (!is_source(g.type) && !is_state_element(g.type)) {
+      for (GateId f : g.fanin) {
+        g.level = std::max(g.level, gates_[f].level + 1);
+      }
+    }
+    topo_.push_back(id);
+    for (GateId s : g.fanout) {
+      if (is_state_element(gates_[s].type)) continue;  // edge into DFF D pin
+      AIDFT_ASSERT(pending[s] > 0, "topological bookkeeping broken");
+      if (--pending[s] == 0) ready.push(s);
+    }
+  }
+  if (topo_.size() != gates_.size()) {
+    throw Error("netlist '" + name_ +
+                "' has a combinational cycle (or unreachable gate): sorted " +
+                std::to_string(topo_.size()) + " of " +
+                std::to_string(gates_.size()) + " gates");
+  }
+  num_levels_ = 0;
+  for (const Gate& g : gates_) num_levels_ = std::max(num_levels_, g.level + 1);
+  finalized_ = true;
+}
+
+std::vector<GateId> Netlist::combinational_inputs() const {
+  std::vector<GateId> v = inputs_;
+  v.insert(v.end(), dffs_.begin(), dffs_.end());
+  return v;
+}
+
+std::vector<GateId> Netlist::observe_points() const {
+  std::vector<GateId> v = outputs_;
+  v.insert(v.end(), dffs_.begin(), dffs_.end());
+  return v;
+}
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type != GateType::kInput && g.type != GateType::kOutput) ++n;
+  }
+  return n;
+}
+
+}  // namespace aidft

@@ -1,0 +1,128 @@
+// Gate-level netlist IR.
+//
+// A Netlist is a DAG of gates plus DFF state elements. It is built
+// incrementally (add_* then connect), then `finalize()` computes fanouts,
+// levels, and a topological order and freezes the structure. All analysis
+// engines (simulation, ATPG, fault sim, SCOAP, ...) require a finalized
+// netlist.
+//
+// Sequential handling: a DFF's value is its Q output; its single fanin is D.
+// For full-scan test generation the combinational view treats every DFF
+// output as a pseudo primary input (PPI) and every DFF D input as a pseudo
+// primary output (PPO); `combinational_inputs()` / `observe_points()` expose
+// exactly that view so the test engines never special-case sequential logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/types.hpp"
+
+namespace aidft {
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<GateId> fanin;
+  std::vector<GateId> fanout;  // filled by finalize()
+  std::uint32_t level = 0;     // topological level; sources are level 0
+  std::string name;            // optional; empty means auto-named
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ------------------------------------------------------
+
+  /// Adds a gate with no connections yet. Fanins are attached via connect().
+  GateId add_gate(GateType type, std::string name = {});
+
+  /// Convenience: adds a gate already wired to `fanin`.
+  GateId add_gate(GateType type, std::span<const GateId> fanin,
+                  std::string name = {});
+  GateId add_gate(GateType type, std::initializer_list<GateId> fanin,
+                  std::string name = {});
+
+  GateId add_input(std::string name = {});
+  /// Adds an output marker observing `driver`.
+  GateId add_output(GateId driver, std::string name = {});
+  GateId add_dff(GateId d_input, std::string name = {});
+
+  /// Appends `driver` to `sink`'s fanin list. Only valid before finalize().
+  void connect(GateId driver, GateId sink);
+
+  /// Validates structure, computes fanout lists, levels, topological order.
+  /// Throws Error on malformed structure (wrong arity, cycles through
+  /// combinational logic, dangling fanin).
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- structure access --------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const {
+    AIDFT_ASSERT(id < gates_.size(), "gate id out of range");
+    return gates_[id];
+  }
+  GateType type(GateId id) const { return gate(id).type; }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  const std::vector<GateId>& dffs() const { return dffs_; }
+
+  /// Gates in topological order (sources first). Valid after finalize().
+  const std::vector<GateId>& topo_order() const {
+    AIDFT_ASSERT(finalized_, "topo_order requires finalize()");
+    return topo_;
+  }
+
+  /// Max level + 1 (0 for an empty netlist). Valid after finalize().
+  std::uint32_t num_levels() const { return num_levels_; }
+
+  /// Full-scan combinational view: primary inputs followed by DFF outputs
+  /// (PPIs). This is the controllable-point list for test engines.
+  std::vector<GateId> combinational_inputs() const;
+
+  /// Full-scan observation view: primary-output gates followed by DFF gates
+  /// (a DFF observes its D input at capture). For a DFF entry, the observed
+  /// value is the value of its fanin[0].
+  std::vector<GateId> observe_points() const;
+
+  /// Value actually observed at an observe point `g`: the gate's own value
+  /// for POs, the D-input gate for DFFs.
+  GateId observed_gate(GateId g) const {
+    const Gate& gg = gate(g);
+    return gg.type == GateType::kDff ? gg.fanin[0] : g;
+  }
+
+  /// Looks up a gate by name; returns kNoGate if absent.
+  GateId find(const std::string& name) const;
+
+  /// Count of gates excluding kInput/kOutput markers (a conventional
+  /// "gate count" for reporting).
+  std::size_t logic_gate_count() const;
+
+ private:
+  void check_arity(GateId id) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> topo_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::uint32_t num_levels_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace aidft

@@ -1,0 +1,223 @@
+#include "netlist/scoap.hpp"
+
+#include <algorithm>
+
+namespace aidft {
+namespace {
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t s = a + b;
+  return s >= kUnreachable ? kUnreachable : s;
+}
+
+// Controllability of an n-input XOR/XNOR via parity DP: cheapest way to make
+// the parity of the inputs equal to 0 or 1.
+void xor_controllability(const Netlist& nl, const Gate& g,
+                         const std::vector<std::uint32_t>& cc0,
+                         const std::vector<std::uint32_t>& cc1,
+                         std::uint32_t& even_cost, std::uint32_t& odd_cost) {
+  std::uint32_t dp0 = 0;             // cheapest cost with even parity so far
+  std::uint32_t dp1 = kUnreachable;  // cheapest cost with odd parity so far
+  for (GateId f : g.fanin) {
+    const std::uint32_t c0 = cc0[f];
+    const std::uint32_t c1 = cc1[f];
+    const std::uint32_t n0 = std::min(sat_add(dp0, c0), sat_add(dp1, c1));
+    const std::uint32_t n1 = std::min(sat_add(dp0, c1), sat_add(dp1, c0));
+    dp0 = n0;
+    dp1 = n1;
+  }
+  (void)nl;
+  even_cost = dp0;
+  odd_cost = dp1;
+}
+
+}  // namespace
+
+ScoapResult compute_scoap(const Netlist& nl) {
+  AIDFT_REQUIRE(nl.finalized(), "compute_scoap requires finalized netlist");
+  const std::size_t n = nl.num_gates();
+  ScoapResult r;
+  r.cc0.assign(n, kUnreachable);
+  r.cc1.assign(n, kUnreachable);
+  r.co.assign(n, kUnreachable);
+
+  // --- controllability, forward over topological order -------------------
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    std::uint32_t c0 = kUnreachable;
+    std::uint32_t c1 = kUnreachable;
+    switch (g.type) {
+      case GateType::kInput:
+        c0 = c1 = 1;
+        break;
+      case GateType::kDff:  // full scan: Q is directly loadable
+        c0 = c1 = 1;
+        break;
+      case GateType::kConst0:
+        c0 = 0;
+        c1 = kUnreachable;
+        break;
+      case GateType::kConst1:
+        c0 = kUnreachable;
+        c1 = 0;
+        break;
+      case GateType::kOutput:
+      case GateType::kBuf:
+        c0 = sat_add(r.cc0[g.fanin[0]], 1);
+        c1 = sat_add(r.cc1[g.fanin[0]], 1);
+        break;
+      case GateType::kNot:
+        c0 = sat_add(r.cc1[g.fanin[0]], 1);
+        c1 = sat_add(r.cc0[g.fanin[0]], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        // Output-1 of AND needs all inputs 1; output-0 needs cheapest 0.
+        std::uint32_t all1 = 0;
+        std::uint32_t min0 = kUnreachable;
+        for (GateId f : g.fanin) {
+          all1 = sat_add(all1, r.cc1[f]);
+          min0 = std::min(min0, r.cc0[f]);
+        }
+        const std::uint32_t out1 = sat_add(all1, 1);
+        const std::uint32_t out0 = sat_add(min0, 1);
+        if (g.type == GateType::kAnd) {
+          c1 = out1;
+          c0 = out0;
+        } else {
+          c0 = out1;
+          c1 = out0;
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint32_t all0 = 0;
+        std::uint32_t min1 = kUnreachable;
+        for (GateId f : g.fanin) {
+          all0 = sat_add(all0, r.cc0[f]);
+          min1 = std::min(min1, r.cc1[f]);
+        }
+        const std::uint32_t out0 = sat_add(all0, 1);
+        const std::uint32_t out1 = sat_add(min1, 1);
+        if (g.type == GateType::kOr) {
+          c0 = out0;
+          c1 = out1;
+        } else {
+          c1 = out0;
+          c0 = out1;
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::uint32_t even = 0, odd = 0;
+        xor_controllability(nl, g, r.cc0, r.cc1, even, odd);
+        const std::uint32_t out0 = sat_add(even, 1);
+        const std::uint32_t out1 = sat_add(odd, 1);
+        if (g.type == GateType::kXor) {
+          c0 = out0;
+          c1 = out1;
+        } else {
+          c0 = out1;
+          c1 = out0;
+        }
+        break;
+      }
+      case GateType::kMux: {
+        const GateId sel = g.fanin[0], d0 = g.fanin[1], d1 = g.fanin[2];
+        c0 = sat_add(std::min(sat_add(r.cc0[sel], r.cc0[d0]),
+                              sat_add(r.cc1[sel], r.cc0[d1])),
+                     1);
+        c1 = sat_add(std::min(sat_add(r.cc0[sel], r.cc1[d0]),
+                              sat_add(r.cc1[sel], r.cc1[d1])),
+                     1);
+        break;
+      }
+    }
+    r.cc0[id] = c0;
+    r.cc1[id] = c1;
+  }
+
+  // --- observability, backward over topological order --------------------
+  for (GateId id : nl.outputs()) r.co[id] = 0;
+  for (GateId id : nl.dffs()) r.co[id] = kUnreachable;  // Q observability via fanout
+
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = nl.gate(id);
+    // Propagate this gate's CO (already min-merged from its fanouts) down to
+    // its fanin branches; a stem's CO is the min over branch COs, which the
+    // min-merge below accumulates.
+    std::uint32_t co_g = r.co[id];
+    if (g.type == GateType::kDff) {
+      // D input is captured and scanned out: observing through a scan flop
+      // costs 1 regardless of where Q goes afterwards.
+      r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], 1u);
+      continue;
+    }
+    if (co_g >= kUnreachable && g.type != GateType::kOutput) {
+      // No observable path through this gate; nothing to push down.
+      continue;
+    }
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        break;
+      case GateType::kOutput:
+        r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], 0u);
+        break;
+      case GateType::kBuf:
+      case GateType::kNot:
+        r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], sat_add(co_g, 1));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool needs_one = (g.type == GateType::kAnd || g.type == GateType::kNand);
+        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+          std::uint32_t side = 0;  // cost of non-controlling values on others
+          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+            if (i == j) continue;
+            side = sat_add(side, needs_one ? r.cc1[g.fanin[j]] : r.cc0[g.fanin[j]]);
+          }
+          const std::uint32_t v = sat_add(sat_add(co_g, side), 1);
+          r.co[g.fanin[i]] = std::min(r.co[g.fanin[i]], v);
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+          std::uint32_t side = 0;  // others just need any known value
+          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+            if (i == j) continue;
+            side = sat_add(side, std::min(r.cc0[g.fanin[j]], r.cc1[g.fanin[j]]));
+          }
+          const std::uint32_t v = sat_add(sat_add(co_g, side), 1);
+          r.co[g.fanin[i]] = std::min(r.co[g.fanin[i]], v);
+        }
+        break;
+      }
+      case GateType::kMux: {
+        const GateId sel = g.fanin[0], d0 = g.fanin[1], d1 = g.fanin[2];
+        // Data inputs observable when select routes them through.
+        r.co[d0] = std::min(r.co[d0], sat_add(sat_add(co_g, r.cc0[sel]), 1));
+        r.co[d1] = std::min(r.co[d1], sat_add(sat_add(co_g, r.cc1[sel]), 1));
+        // Select observable when the two data inputs differ.
+        const std::uint32_t differ =
+            std::min(sat_add(r.cc0[d0], r.cc1[d1]), sat_add(r.cc1[d0], r.cc0[d1]));
+        r.co[sel] = std::min(r.co[sel], sat_add(sat_add(co_g, differ), 1));
+        break;
+      }
+      case GateType::kDff:
+        break;  // handled above
+    }
+  }
+  return r;
+}
+
+}  // namespace aidft

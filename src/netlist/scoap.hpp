@@ -1,0 +1,46 @@
+// SCOAP testability measures (Goldstein 1979), full-scan variant.
+//
+// CC0/CC1: minimum "effort" to set a line to 0/1 (counted in gate traversals,
+// saturating arithmetic; kUnreachable means provably impossible, e.g. CC1 of
+// CONST0). CO: effort to propagate a line's value to an observe point.
+//
+// Full-scan assumptions: DFF outputs cost 1 to control (scan load) and DFF D
+// inputs cost 0 to observe (captured and scanned out).
+//
+// Consumers: PODEM backtrace (prefer the cheaper input), BIST test-point
+// insertion (pick the most random-pattern-resistant nets), and benchmark
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+inline constexpr std::uint32_t kUnreachable = 0x3FFFFFFFu;
+
+struct ScoapResult {
+  std::vector<std::uint32_t> cc0;  // indexed by GateId
+  std::vector<std::uint32_t> cc1;
+  std::vector<std::uint32_t> co;   // stem observability of the gate output
+
+  /// min(cc0, cc1): cost of controlling the line to any value.
+  std::uint32_t cc_min(GateId g) const {
+    return cc0[g] < cc1[g] ? cc0[g] : cc1[g];
+  }
+
+  /// Detection-difficulty proxy for a stuck-at fault at gate output:
+  /// controllability of the opposite value plus observability.
+  std::uint32_t sa_difficulty(GateId g, bool stuck_at_one) const {
+    const std::uint32_t ctrl = stuck_at_one ? cc0[g] : cc1[g];
+    const std::uint32_t sum = ctrl + co[g];
+    return sum >= kUnreachable ? kUnreachable : sum;
+  }
+};
+
+/// Computes SCOAP measures over a finalized netlist.
+ScoapResult compute_scoap(const Netlist& netlist);
+
+}  // namespace aidft

@@ -1,0 +1,41 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aidft {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  AIDFT_REQUIRE(nl.finalized(), "compute_stats requires finalized netlist");
+  NetlistStats s;
+  s.num_gates = nl.num_gates();
+  s.num_logic_gates = nl.logic_gate_count();
+  s.num_inputs = nl.inputs().size();
+  s.num_outputs = nl.outputs().size();
+  s.num_dffs = nl.dffs().size();
+  s.depth = nl.num_levels() == 0 ? 0 : nl.num_levels() - 1;
+  std::size_t fanin_total = 0;
+  std::size_t fanin_gates = 0;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    s.max_fanout = std::max(s.max_fanout, g.fanout.size());
+    if (!g.fanin.empty()) {
+      fanin_total += g.fanin.size();
+      ++fanin_gates;
+    }
+  }
+  s.avg_fanin = fanin_gates == 0 ? 0.0
+                                 : static_cast<double>(fanin_total) /
+                                       static_cast<double>(fanin_gates);
+  return s;
+}
+
+std::string NetlistStats::to_string() const {
+  std::ostringstream ss;
+  ss << "gates=" << num_logic_gates << " PI=" << num_inputs
+     << " PO=" << num_outputs << " DFF=" << num_dffs << " depth=" << depth
+     << " max_fanout=" << max_fanout;
+  return ss.str();
+}
+
+}  // namespace aidft

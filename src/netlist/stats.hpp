@@ -1,0 +1,28 @@
+// Structural statistics of a netlist, used by reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+struct NetlistStats {
+  std::size_t num_gates = 0;        // all nodes including IO markers
+  std::size_t num_logic_gates = 0;  // excluding INPUT/OUTPUT markers
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_dffs = 0;
+  std::uint32_t depth = 0;          // combinational levels
+  std::size_t max_fanout = 0;
+  double avg_fanin = 0.0;
+
+  /// One-line human-readable summary.
+  std::string to_string() const;
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+}  // namespace aidft

@@ -1,0 +1,132 @@
+#include "sat/cnf.hpp"
+
+namespace aidft {
+namespace {
+
+void encode_and(SatSolver& s, Lit out, const std::vector<Lit>& in) {
+  std::vector<Lit> big;
+  big.reserve(in.size() + 1);
+  for (const Lit l : in) {
+    s.add_binary(~out, l);  // out -> every input
+    big.push_back(~l);
+  }
+  big.push_back(out);  // all inputs -> out
+  s.add_clause(std::move(big));
+}
+
+void encode_or(SatSolver& s, Lit out, const std::vector<Lit>& in) {
+  std::vector<Lit> big;
+  big.reserve(in.size() + 1);
+  for (const Lit l : in) {
+    s.add_binary(out, ~l);  // any input -> out
+    big.push_back(l);
+  }
+  big.push_back(~out);  // out -> some input
+  s.add_clause(std::move(big));
+}
+
+void encode_xor2(SatSolver& s, Lit out, Lit a, Lit b) {
+  s.add_ternary(~out, a, b);
+  s.add_ternary(~out, ~a, ~b);
+  s.add_ternary(out, ~a, b);
+  s.add_ternary(out, a, ~b);
+}
+
+void encode_eq(SatSolver& s, Lit a, Lit b) {
+  s.add_binary(~a, b);
+  s.add_binary(a, ~b);
+}
+
+}  // namespace
+
+void add_gate_clauses(SatSolver& s, GateType type, Lit out,
+                      const std::vector<Lit>& in) {
+  switch (type) {
+    case GateType::kConst0:
+      s.add_unit(~out);
+      return;
+    case GateType::kConst1:
+      s.add_unit(out);
+      return;
+    case GateType::kBuf:
+    case GateType::kOutput:
+    case GateType::kDff:  // combinational alias: value of the D line
+      encode_eq(s, out, in[0]);
+      return;
+    case GateType::kNot:
+      encode_eq(s, out, ~in[0]);
+      return;
+    case GateType::kAnd:
+      encode_and(s, out, in);
+      return;
+    case GateType::kNand:
+      encode_and(s, ~out, in);
+      return;
+    case GateType::kOr:
+      encode_or(s, out, in);
+      return;
+    case GateType::kNor:
+      encode_or(s, ~out, in);
+      return;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Lit acc = in[0];
+      for (std::size_t i = 1; i + 1 < in.size(); ++i) {
+        const Lit aux = pos_lit(s.new_var());
+        encode_xor2(s, aux, acc, in[i]);
+        acc = aux;
+      }
+      const Lit target = type == GateType::kXor ? out : ~out;
+      if (in.size() == 1) {
+        encode_eq(s, target, acc);
+      } else {
+        encode_xor2(s, target, acc, in.back());
+      }
+      return;
+    }
+    case GateType::kMux: {
+      const Lit sel = in[0], d0 = in[1], d1 = in[2];
+      s.add_ternary(sel, ~d0, out);    // sel=0 & d0  -> out
+      s.add_ternary(sel, d0, ~out);    // sel=0 & !d0 -> !out
+      s.add_ternary(~sel, ~d1, out);   // sel=1 & d1  -> out
+      s.add_ternary(~sel, d1, ~out);   // sel=1 & !d1 -> !out
+      // Redundant but propagation-strengthening:
+      s.add_ternary(~d0, ~d1, out);
+      s.add_ternary(d0, d1, ~out);
+      return;
+    }
+    case GateType::kInput:
+      return;  // free variable
+  }
+}
+
+CircuitCnf::CircuitCnf(const Netlist& nl, SatSolver& solver) {
+  AIDFT_REQUIRE(nl.finalized(), "CircuitCnf requires finalized netlist");
+  lits_.assign(nl.num_gates(), Lit{});
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kDff:  // pseudo primary input in the scan view
+        lits_[id] = pos_lit(solver.new_var());
+        break;
+      case GateType::kBuf:
+      case GateType::kOutput:
+        lits_[id] = lits_[g.fanin[0]];  // alias, no clauses needed
+        break;
+      case GateType::kNot:
+        lits_[id] = ~lits_[g.fanin[0]];  // alias with sign flip
+        break;
+      default: {
+        lits_[id] = pos_lit(solver.new_var());
+        std::vector<Lit> in;
+        in.reserve(g.fanin.size());
+        for (GateId f : g.fanin) in.push_back(lits_[f]);
+        add_gate_clauses(solver, g.type, lits_[id], in);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace aidft

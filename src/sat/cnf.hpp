@@ -1,0 +1,40 @@
+// Tseitin encoding of netlists into CNF.
+//
+// Encodes the full-scan combinational view: primary inputs and DFF outputs
+// are free variables; every logic gate gets an equivalence (output-var <->
+// gate-function) clause set. BUF and OUTPUT markers alias their fanin's
+// variable instead of introducing a new one.
+//
+// The SAT-based ATPG builds on this with a second, partial encoding of the
+// fault's output cone (see atpg/sat_atpg).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace aidft {
+
+/// Emits clauses enforcing out <-> type(fanins) into `solver`.
+/// For XOR/XNOR with more than 2 inputs, auxiliary chain variables are
+/// allocated internally.
+void add_gate_clauses(SatSolver& solver, GateType type, Lit out,
+                      const std::vector<Lit>& fanins);
+
+class CircuitCnf {
+ public:
+  /// Encodes `netlist` into `solver`. Both must outlive this object.
+  CircuitCnf(const Netlist& netlist, SatSolver& solver);
+
+  /// The solver literal representing gate `g`'s value.
+  Lit lit(GateId g) const {
+    AIDFT_ASSERT(g < lits_.size(), "CircuitCnf::lit out of range");
+    return lits_[g];
+  }
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+}  // namespace aidft

@@ -1,0 +1,72 @@
+#include "scan/power.hpp"
+
+#include <algorithm>
+
+namespace aidft {
+
+ShiftPowerReport shift_power(const Netlist& nl, const ScanPlan& plan,
+                             const std::vector<TestCube>& patterns) {
+  ShiftPowerReport report;
+  report.patterns = patterns.size();
+  if (patterns.empty()) return report;
+  const auto scan_patterns = to_scan_patterns(nl, plan, patterns);
+  for (const ScanPattern& sp : scan_patterns) {
+    double wtm = 0.0;
+    for (const auto& load : sp.chain_load) {
+      const std::size_t len = load.size();
+      for (std::size_t i = 0; i + 1 < len; ++i) {
+        AIDFT_REQUIRE(load[i] != Val3::kX && load[i + 1] != Val3::kX,
+                      "shift_power needs fully specified patterns");
+        if (load[i] != load[i + 1]) {
+          // The boundary between cells i and i+1 enters at shift position
+          // i+1 (cell i's value is loaded one cycle later than cell i+1's)
+          // and travels through len-1-i cells.
+          wtm += static_cast<double>(len - 1 - i);
+        }
+      }
+    }
+    report.total_wtm += wtm;
+    report.peak_wtm_pattern = std::max(report.peak_wtm_pattern, wtm);
+  }
+  report.avg_wtm_per_pattern =
+      report.total_wtm / static_cast<double>(patterns.size());
+  return report;
+}
+
+void adjacent_fill(const Netlist& nl, const ScanPlan& plan,
+                   std::vector<TestCube>& cubes) {
+  const std::size_t npi = nl.inputs().size();
+  // Flop -> position in the combinational-input tail.
+  std::vector<std::size_t> flop_pos(nl.num_gates(), SIZE_MAX);
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    flop_pos[nl.dffs()[i]] = npi + i;
+  }
+  for (TestCube& cube : cubes) {
+    AIDFT_REQUIRE(cube.size() == npi + nl.dffs().size(),
+                  "adjacent_fill: cube width mismatch");
+    for (std::size_t p = 0; p < npi; ++p) {
+      if (cube.bits[p] == Val3::kX) cube.bits[p] = Val3::kZero;
+    }
+    for (const ScanChain& chain : plan.chains) {
+      // First pass: find the first care value for the leading X run.
+      Val3 last = Val3::kZero;
+      for (GateId ff : chain.cells) {
+        const Val3 v = cube.bits[flop_pos[ff]];
+        if (v != Val3::kX) {
+          last = v;
+          break;
+        }
+      }
+      for (GateId ff : chain.cells) {
+        Val3& v = cube.bits[flop_pos[ff]];
+        if (v == Val3::kX) {
+          v = last;
+        } else {
+          last = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aidft

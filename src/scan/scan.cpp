@@ -1,0 +1,220 @@
+#include "scan/scan.hpp"
+
+#include <algorithm>
+
+#include "sim/event_sim.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace aidft {
+
+std::size_t ScanPlan::max_chain_length() const {
+  std::size_t m = 0;
+  for (const auto& c : chains) m = std::max(m, c.cells.size());
+  return m;
+}
+
+std::size_t ScanPlan::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& c : chains) n += c.cells.size();
+  return n;
+}
+
+ScanPlan plan_scan_chains(const Netlist& nl, std::size_t num_chains) {
+  AIDFT_REQUIRE(nl.finalized(), "plan_scan_chains requires finalized netlist");
+  AIDFT_REQUIRE(num_chains >= 1, "need at least one chain");
+  ScanPlan plan;
+  plan.chains.resize(std::min(num_chains, std::max<std::size_t>(1, nl.dffs().size())));
+  if (nl.dffs().empty()) {
+    plan.chains.resize(num_chains);
+    return plan;
+  }
+  // Round-robin keeps lengths within one cell of each other.
+  std::size_t k = 0;
+  for (GateId ff : nl.dffs()) {
+    plan.chains[k].cells.push_back(ff);
+    k = (k + 1) % plan.chains.size();
+  }
+  return plan;
+}
+
+ScanNetlist insert_scan(const Netlist& nl, const ScanPlan& plan) {
+  AIDFT_REQUIRE(nl.finalized(), "insert_scan requires finalized netlist");
+  // Every flop must be covered exactly once.
+  std::vector<std::size_t> chain_of(nl.num_gates(), SIZE_MAX);
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < plan.chains.size(); ++c) {
+    for (GateId ff : plan.chains[c].cells) {
+      AIDFT_REQUIRE(ff < nl.num_gates() && nl.type(ff) == GateType::kDff,
+                    "scan plan references a non-flop gate");
+      AIDFT_REQUIRE(chain_of[ff] == SIZE_MAX, "flop in two chains");
+      chain_of[ff] = c;
+      ++covered;
+    }
+  }
+  AIDFT_REQUIRE(covered == nl.dffs().size(), "scan plan must cover all flops");
+
+  ScanNetlist out;
+  out.netlist.set_name(nl.name() + "_scan");
+  // Clone gates (same order → same names resolve to parallel structure).
+  std::vector<GateId> map(nl.num_gates());
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    map[id] = out.netlist.add_gate(nl.type(id), nl.gate(id).name);
+  }
+  // Scan infrastructure pins.
+  out.scan_enable = out.netlist.add_input("se");
+  for (std::size_t c = 0; c < plan.chains.size(); ++c) {
+    out.scan_in.push_back(out.netlist.add_input("si" + std::to_string(c)));
+  }
+  // Wire non-flop gates 1:1; flops get a scan mux in front of D.
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type != GateType::kDff) {
+      for (GateId f : g.fanin) out.netlist.connect(map[f], map[id]);
+    }
+  }
+  out.chain_cells.resize(plan.chains.size());
+  for (std::size_t c = 0; c < plan.chains.size(); ++c) {
+    GateId prev_q = out.scan_in[c];
+    for (GateId ff : plan.chains[c].cells) {
+      const GateId d_new = map[nl.gate(ff).fanin[0]];
+      const GateId mux = out.netlist.add_gate(
+          GateType::kMux, {out.scan_enable, d_new, prev_q},
+          out.netlist.gate(map[ff]).name.empty()
+              ? ""
+              : out.netlist.gate(map[ff]).name + "_scanmux");
+      out.netlist.connect(mux, map[ff]);
+      out.chain_cells[c].push_back(map[ff]);
+      prev_q = map[ff];
+    }
+    out.scan_out.push_back(
+        out.netlist.add_output(prev_q, "so" + std::to_string(c)));
+  }
+  out.netlist.finalize();
+  return out;
+}
+
+std::vector<ScanPattern> to_scan_patterns(const Netlist& nl, const ScanPlan& plan,
+                                          const std::vector<TestCube>& cubes) {
+  const std::size_t npi = nl.inputs().size();
+  // Position of each flop inside the combinational-input tail.
+  std::vector<std::size_t> flop_pos(nl.num_gates(), SIZE_MAX);
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    flop_pos[nl.dffs()[i]] = npi + i;
+  }
+  std::vector<ScanPattern> out;
+  out.reserve(cubes.size());
+  for (const TestCube& cube : cubes) {
+    AIDFT_REQUIRE(cube.size() == npi + nl.dffs().size(),
+                  "cube width != combinational inputs");
+    ScanPattern sp;
+    sp.pi_values.assign(cube.bits.begin(), cube.bits.begin() + npi);
+    sp.chain_load.resize(plan.chains.size());
+    for (std::size_t c = 0; c < plan.chains.size(); ++c) {
+      for (GateId ff : plan.chains[c].cells) {
+        sp.chain_load[c].push_back(cube.bits[flop_pos[ff]]);
+      }
+    }
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+ScanProtocolSimulator::ScanProtocolSimulator(const Netlist& original,
+                                             const ScanNetlist& scan,
+                                             const ScanPlan& plan)
+    : scan_(&scan), max_len_(plan.max_chain_length()) {
+  AIDFT_REQUIRE(scan.netlist.finalized(), "scan netlist must be finalized");
+  // Original PIs were cloned first, in order.
+  const auto& new_inputs = scan.netlist.inputs();
+  AIDFT_REQUIRE(new_inputs.size() ==
+                    original.inputs().size() + 1 + scan.scan_in.size(),
+                "unexpected scan netlist input count");
+  pi_map_.assign(new_inputs.begin(),
+                 new_inputs.begin() + original.inputs().size());
+  sim_ = std::make_unique<EventSimulator>(scan.netlist);
+}
+
+std::vector<bool> ScanProtocolSimulator::run_pattern(const ScanPattern& pattern) {
+  EventSimulator& sim = *sim_;
+  const std::size_t nchains = scan_->scan_in.size();
+  AIDFT_REQUIRE(pattern.chain_load.size() == nchains,
+                "pattern chain count mismatch");
+
+  auto word_of = [](Val3 v) { return v == Val3::kOne ? ~0ull : 0ull; };
+
+  // ---- load: se=1, shift max_len cycles ---------------------------------
+  sim.set_input(scan_->scan_enable, ~0ull);
+  for (std::size_t t = 0; t < max_len_; ++t) {
+    for (std::size_t c = 0; c < nchains; ++c) {
+      const auto& load = pattern.chain_load[c];
+      const std::size_t l = load.size();
+      // Bit entering at cycle t rests at cell (max_len-1-t) after all
+      // max_len shifts; cells beyond the chain length are padding.
+      const std::size_t target = max_len_ - 1 - t;
+      const std::uint64_t w = (target < l) ? word_of(load[target]) : 0;
+      sim.set_input(scan_->scan_in[c], w);
+    }
+    sim.clock();
+    ++cycles_;
+  }
+
+  // ---- capture: se=0, apply PIs, read POs, clock once --------------------
+  sim.set_input(scan_->scan_enable, 0);
+  AIDFT_REQUIRE(pattern.pi_values.size() == pi_map_.size(),
+                "pattern PI count mismatch");
+  for (std::size_t i = 0; i < pi_map_.size(); ++i) {
+    sim.set_input(pi_map_[i], word_of(pattern.pi_values[i]));
+  }
+  sim.settle();
+  std::vector<bool> response;
+  // Functional POs (every output marker except the soN ones).
+  for (GateId po : scan_->netlist.outputs()) {
+    if (std::find(scan_->scan_out.begin(), scan_->scan_out.end(), po) !=
+        scan_->scan_out.end()) {
+      continue;
+    }
+    response.push_back(sim.value(po) & 1);
+  }
+  sim.clock();
+  ++cycles_;
+
+  // ---- unload: se=1, observe soN while shifting --------------------------
+  sim.set_input(scan_->scan_enable, ~0ull);
+  for (std::size_t c = 0; c < nchains; ++c) sim.set_input(scan_->scan_in[c], 0);
+  std::vector<std::vector<bool>> unload(nchains);
+  for (std::size_t t = 0; t < max_len_; ++t) {
+    sim.settle();
+    for (std::size_t c = 0; c < nchains; ++c) {
+      if (t < scan_->chain_cells[c].size()) {
+        unload[c].push_back(sim.value(scan_->scan_out[c]) & 1);
+      }
+    }
+    sim.clock();
+    ++cycles_;
+  }
+  for (auto& u : unload) {
+    for (bool b : u) response.push_back(b);
+  }
+  return response;
+}
+
+std::vector<bool> combinational_reference_response(const Netlist& nl,
+                                                   const ScanPlan& plan,
+                                                   const TestCube& cube) {
+  TestCube filled = cube;
+  filled.constant_fill(Val3::kZero);
+  std::vector<TestCube> v{filled};
+  ParallelSimulator sim(nl);
+  sim.simulate(pack_patterns(v, 0, 1));
+  std::vector<bool> response;
+  for (GateId po : nl.outputs()) response.push_back(sim.value(po) & 1);
+  // Unload order: chain by chain, last cell first (it sits next to so).
+  for (const auto& chain : plan.chains) {
+    for (auto it = chain.cells.rbegin(); it != chain.cells.rend(); ++it) {
+      response.push_back(sim.next_state(*it) & 1);
+    }
+  }
+  return response;
+}
+
+}  // namespace aidft

@@ -1,0 +1,28 @@
+// STIL-style test-program export (IEEE 1450 subset).
+//
+// Serialises a scan plan and a pattern set into the textual structure ATE
+// tooling consumes: Signals / SignalGroups / ScanStructures blocks, a
+// load_unload + capture procedure pair, and one Pattern block per vector
+// with per-chain scan-in data and primary-input values. The subset is
+// self-consistent rather than standards-complete (enough for a reader to
+// reconstruct the session; see tests for the guaranteed content).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scan/scan.hpp"
+
+namespace aidft {
+
+/// Writes the test program for fully specified `patterns` (combinational
+/// view order). Expected responses are included: primary-output values and
+/// per-chain unload streams computed by the fault-free simulator.
+void write_stil(const Netlist& netlist, const ScanPlan& plan,
+                const std::vector<TestCube>& patterns, std::ostream& out);
+
+std::string write_stil_string(const Netlist& netlist, const ScanPlan& plan,
+                              const std::vector<TestCube>& patterns);
+
+}  // namespace aidft

@@ -1,0 +1,112 @@
+#include "scan/tap.hpp"
+
+#include <array>
+
+namespace aidft {
+
+TapState tap_next_state(TapState s, bool tms) {
+  switch (s) {
+    case TapState::kTestLogicReset:
+      return tms ? TapState::kTestLogicReset : TapState::kRunTestIdle;
+    case TapState::kRunTestIdle:
+      return tms ? TapState::kSelectDr : TapState::kRunTestIdle;
+    case TapState::kSelectDr:
+      return tms ? TapState::kSelectIr : TapState::kCaptureDr;
+    case TapState::kCaptureDr:
+      return tms ? TapState::kExit1Dr : TapState::kShiftDr;
+    case TapState::kShiftDr:
+      return tms ? TapState::kExit1Dr : TapState::kShiftDr;
+    case TapState::kExit1Dr:
+      return tms ? TapState::kUpdateDr : TapState::kPauseDr;
+    case TapState::kPauseDr:
+      return tms ? TapState::kExit2Dr : TapState::kPauseDr;
+    case TapState::kExit2Dr:
+      return tms ? TapState::kUpdateDr : TapState::kShiftDr;
+    case TapState::kUpdateDr:
+      return tms ? TapState::kSelectDr : TapState::kRunTestIdle;
+    case TapState::kSelectIr:
+      return tms ? TapState::kTestLogicReset : TapState::kCaptureIr;
+    case TapState::kCaptureIr:
+      return tms ? TapState::kExit1Ir : TapState::kShiftIr;
+    case TapState::kShiftIr:
+      return tms ? TapState::kExit1Ir : TapState::kShiftIr;
+    case TapState::kExit1Ir:
+      return tms ? TapState::kUpdateIr : TapState::kPauseIr;
+    case TapState::kPauseIr:
+      return tms ? TapState::kExit2Ir : TapState::kPauseIr;
+    case TapState::kExit2Ir:
+      return tms ? TapState::kUpdateIr : TapState::kShiftIr;
+    case TapState::kUpdateIr:
+      return tms ? TapState::kSelectDr : TapState::kRunTestIdle;
+  }
+  return TapState::kTestLogicReset;
+}
+
+TapController make_tap_controller() {
+  TapController tap;
+  Netlist& nl = tap.netlist;
+  nl.set_name("tap1149");
+
+  tap.tms = nl.add_input("tms");
+  // State flops first (sources for the next-state logic).
+  for (int b = 0; b < 4; ++b) {
+    tap.state_bits[b] = nl.add_gate(GateType::kDff, "s" + std::to_string(b));
+  }
+  const GateId ntms = nl.add_gate(GateType::kNot, {tap.tms}, "ntms");
+  std::array<GateId, 4> ns{};
+  std::array<GateId, 4> nns{};
+  for (int b = 0; b < 4; ++b) {
+    ns[b] = tap.state_bits[b];
+    nns[b] = nl.add_gate(GateType::kNot, {tap.state_bits[b]});
+  }
+
+  // One minterm AND per state (shared by next-state and decode logic).
+  std::array<GateId, 16> minterm{};
+  for (int s = 0; s < 16; ++s) {
+    const GateId m01 = nl.add_gate(
+        GateType::kAnd, {(s & 1) ? ns[0] : nns[0], (s & 2) ? ns[1] : nns[1]});
+    const GateId m23 = nl.add_gate(
+        GateType::kAnd, {(s & 4) ? ns[2] : nns[2], (s & 8) ? ns[3] : nns[3]});
+    minterm[s] =
+        nl.add_gate(GateType::kAnd, {m01, m23}, "st" + std::to_string(s));
+  }
+
+  // Next-state bit b = OR over states s of minterm[s] & (tms-gated term).
+  for (int b = 0; b < 4; ++b) {
+    std::vector<GateId> terms;
+    for (int s = 0; s < 16; ++s) {
+      const auto st = static_cast<TapState>(s);
+      const bool bit0 =
+          (static_cast<int>(tap_next_state(st, false)) >> b) & 1;
+      const bool bit1 = (static_cast<int>(tap_next_state(st, true)) >> b) & 1;
+      if (bit0 && bit1) {
+        terms.push_back(minterm[s]);
+      } else if (bit1) {
+        terms.push_back(nl.add_gate(GateType::kAnd, {minterm[s], tap.tms}));
+      } else if (bit0) {
+        terms.push_back(nl.add_gate(GateType::kAnd, {minterm[s], ntms}));
+      }
+    }
+    AIDFT_ASSERT(!terms.empty(), "TAP next-state bit has no on-set");
+    GateId d = terms[0];
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+      d = nl.add_gate(GateType::kOr, {d, terms[i]});
+    }
+    nl.connect(d, tap.state_bits[b]);
+  }
+
+  auto decode = [&](TapState s, const std::string& name) {
+    return nl.add_output(minterm[static_cast<int>(s)], name);
+  };
+  tap.o_reset = decode(TapState::kTestLogicReset, "o_reset");
+  tap.o_shift_dr = decode(TapState::kShiftDr, "o_shift_dr");
+  tap.o_capture_dr = decode(TapState::kCaptureDr, "o_capture_dr");
+  tap.o_update_dr = decode(TapState::kUpdateDr, "o_update_dr");
+  tap.o_shift_ir = decode(TapState::kShiftIr, "o_shift_ir");
+  tap.o_update_ir = decode(TapState::kUpdateIr, "o_update_ir");
+
+  nl.finalize();
+  return tap;
+}
+
+}  // namespace aidft

@@ -1,0 +1,60 @@
+// IEEE 1149.1 TAP controller as a gate-level netlist.
+//
+// The 16-state test-access-port FSM is the on-chip front door to every DFT
+// feature this library models (scan, BIST start/stop, wrapper control):
+// TMS walks the standard state diagram, and decoded state outputs
+// (shift/capture/update for the DR and IR paths, plus reset) strobe the
+// test machinery. Building it as an ordinary netlist means the same
+// simulators, fault models, and ATPG used on the payload logic also verify
+// and test the controller itself — tests drive real TMS sequences through
+// the event simulator and check the protocol properties (e.g. five 1s reach
+// Test-Logic-Reset from ANY state).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+/// Standard state encodings (IEEE 1149.1 Table 6-3 convention).
+enum class TapState : std::uint8_t {
+  kExit2Dr = 0x0,
+  kExit1Dr = 0x1,
+  kShiftDr = 0x2,
+  kPauseDr = 0x3,
+  kSelectIr = 0x4,
+  kUpdateDr = 0x5,
+  kCaptureDr = 0x6,
+  kSelectDr = 0x7,
+  kExit2Ir = 0x8,
+  kExit1Ir = 0x9,
+  kShiftIr = 0xA,
+  kPauseIr = 0xB,
+  kRunTestIdle = 0xC,
+  kUpdateIr = 0xD,
+  kCaptureIr = 0xE,
+  kTestLogicReset = 0xF,
+};
+
+/// Next state for (state, tms) per the standard diagram.
+TapState tap_next_state(TapState state, bool tms);
+
+struct TapController {
+  Netlist netlist;
+  GateId tms = kNoGate;            // input
+  GateId state_bits[4] = {};       // DFFs, LSB first
+  // Decoded state outputs (output markers).
+  GateId o_reset = kNoGate;        // in Test-Logic-Reset
+  GateId o_shift_dr = kNoGate;
+  GateId o_capture_dr = kNoGate;
+  GateId o_update_dr = kNoGate;
+  GateId o_shift_ir = kNoGate;
+  GateId o_update_ir = kNoGate;
+};
+
+/// Builds the TAP FSM netlist (next-state logic synthesised from the
+/// transition table as two-level logic).
+TapController make_tap_controller();
+
+}  // namespace aidft

@@ -1,0 +1,104 @@
+#include "sim/event_sim.hpp"
+
+#include "sim/parallel_sim.hpp"
+
+namespace aidft {
+
+EventSimulator::EventSimulator(const Netlist& netlist)
+    : netlist_(&netlist),
+      values_(netlist.num_gates(), 0),
+      buckets_(netlist.num_levels()),
+      queued_(netlist.num_gates(), false) {
+  AIDFT_REQUIRE(netlist.finalized(), "EventSimulator requires finalized netlist");
+  reset();
+}
+
+void EventSimulator::reset() {
+  for (auto& b : buckets_) b.clear();
+  std::fill(queued_.begin(), queued_.end(), false);
+  std::fill(values_.begin(), values_.end(), 0);
+  // Establish a consistent baseline (all inputs and DFF state at 0) with one
+  // full evaluation; afterwards only events need re-evaluation. Without
+  // this, inverting gates would hold a stale 0 until an event reaches them.
+  for (GateId id : netlist_->topo_order()) {
+    const Gate& g = netlist_->gate(id);
+    if (g.type == GateType::kConst1) {
+      values_[id] = ~0ull;
+      continue;
+    }
+    if (is_source(g.type) || is_state_element(g.type)) continue;
+    values_[id] = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
+      return values_[g.fanin[k]];
+    });
+  }
+}
+
+void EventSimulator::schedule_fanouts(GateId g) {
+  for (GateId s : netlist_->gate(g).fanout) {
+    if (is_state_element(netlist_->type(s))) continue;  // captured at clock()
+    if (!queued_[s]) {
+      queued_[s] = true;
+      buckets_[netlist_->gate(s).level].push_back(s);
+    }
+  }
+}
+
+void EventSimulator::set_input(GateId pi, std::uint64_t word) {
+  AIDFT_REQUIRE(netlist_->type(pi) == GateType::kInput,
+                "set_input: gate is not a primary input");
+  if (values_[pi] == word) return;
+  values_[pi] = word;
+  schedule_fanouts(pi);
+}
+
+void EventSimulator::set_state(GateId dff, std::uint64_t word) {
+  AIDFT_REQUIRE(netlist_->type(dff) == GateType::kDff,
+                "set_state: gate is not a DFF");
+  if (values_[dff] == word) return;
+  values_[dff] = word;
+  schedule_fanouts(dff);
+}
+
+std::size_t EventSimulator::settle() {
+  std::size_t evals = 0;
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    // Bucket may grow at higher levels while we process this one; gates can
+    // only schedule strictly higher levels, so index-based iteration per
+    // level is safe.
+    auto& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId id = bucket[i];
+      queued_[id] = false;
+      const Gate& g = netlist_->gate(id);
+      const std::uint64_t nv = eval_gate_words(
+          g.type, g.fanin.size(),
+          [&](std::size_t k) { return values_[g.fanin[k]]; });
+      ++evals;
+      if (nv != values_[id]) {
+        values_[id] = nv;
+        schedule_fanouts(id);
+      }
+    }
+    bucket.clear();
+  }
+  return evals;
+}
+
+std::size_t EventSimulator::clock() {
+  settle();
+  // Two-phase capture so flop-to-flop paths see pre-edge values.
+  std::vector<std::pair<GateId, std::uint64_t>> next;
+  next.reserve(netlist_->dffs().size());
+  for (GateId ff : netlist_->dffs()) {
+    const std::uint64_t d = values_[netlist_->gate(ff).fanin[0]];
+    if (d != values_[ff]) next.emplace_back(ff, d);
+  }
+  for (auto& [ff, d] : next) {
+    values_[ff] = d;
+    schedule_fanouts(ff);
+  }
+  settle();
+  return next.size();
+}
+
+}  // namespace aidft

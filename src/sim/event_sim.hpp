@@ -1,0 +1,50 @@
+// Event-driven, levelized, 64-way bit-parallel sequential simulator.
+//
+// Unlike ParallelSimulator (one full topological sweep per batch), this
+// engine re-evaluates only the fanout cones of changed signals, which is the
+// right tool for multi-cycle sequential runs where few inputs change per
+// cycle (scan shifting, BIST sessions, counters). Levelization guarantees
+// each gate is evaluated at most once per settle().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+class EventSimulator {
+ public:
+  explicit EventSimulator(const Netlist& netlist);
+
+  /// Sets a primary input word; schedules fanout re-evaluation if changed.
+  void set_input(GateId pi, std::uint64_t word);
+
+  /// Overwrites a DFF's state (e.g. reset or scan preload).
+  void set_state(GateId dff, std::uint64_t word);
+
+  /// Propagates all pending events through the combinational logic.
+  /// Returns the number of gate evaluations performed.
+  std::size_t settle();
+
+  /// Rising clock edge: every DFF captures its settled D value. Implicitly
+  /// settles first. Returns number of flops whose state changed.
+  std::size_t clock();
+
+  std::uint64_t value(GateId g) const { return values_[g]; }
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// Resets all values (and DFF state) to 0 with no events pending.
+  void reset();
+
+ private:
+  void schedule_fanouts(GateId g);
+
+  const Netlist* netlist_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::vector<GateId>> buckets_;  // by level
+  std::vector<bool> queued_;
+};
+
+}  // namespace aidft

@@ -1,0 +1,64 @@
+#include "sim/parallel_sim.hpp"
+
+namespace aidft {
+
+PatternBatch pack_patterns(const std::vector<TestCube>& cubes,
+                           std::size_t first, std::size_t count) {
+  AIDFT_REQUIRE(count >= 1 && count <= 64, "pack_patterns: count in [1,64]");
+  AIDFT_REQUIRE(first + count <= cubes.size(), "pack_patterns: range overflow");
+  const std::size_t width = cubes[first].size();
+  PatternBatch batch;
+  batch.npatterns = count;
+  batch.words.assign(width, 0);
+  for (std::size_t p = 0; p < count; ++p) {
+    const TestCube& cube = cubes[first + p];
+    AIDFT_REQUIRE(cube.size() == width, "pack_patterns: ragged cube widths");
+    for (std::size_t i = 0; i < width; ++i) {
+      if (cube.bits[i] == Val3::kOne) batch.words[i] |= (1ull << p);
+    }
+  }
+  return batch;
+}
+
+std::vector<TestCube> random_patterns(std::size_t ninputs, std::size_t count,
+                                      Rng& rng) {
+  std::vector<TestCube> v(count, TestCube(ninputs));
+  for (auto& cube : v) cube.random_fill(rng);
+  return v;
+}
+
+ParallelSimulator::ParallelSimulator(const Netlist& netlist)
+    : netlist_(&netlist),
+      comb_inputs_(netlist.combinational_inputs()),
+      values_(netlist.num_gates(), 0) {
+  AIDFT_REQUIRE(netlist.finalized(), "simulator requires finalized netlist");
+}
+
+void ParallelSimulator::simulate(const PatternBatch& batch) {
+  AIDFT_REQUIRE(batch.words.size() == comb_inputs_.size(),
+                "batch width != combinational input count");
+  for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+    values_[comb_inputs_[i]] = batch.words[i];
+  }
+  const Netlist& nl = *netlist_;
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (is_source(g.type) || is_state_element(g.type)) {
+      if (g.type == GateType::kConst0) values_[id] = 0;
+      if (g.type == GateType::kConst1) values_[id] = ~0ull;
+      continue;  // inputs and DFF loads already set
+    }
+    values_[id] = eval_gate_words(g.type, g.fanin.size(),
+                                  [&](std::size_t i) { return values_[g.fanin[i]]; });
+  }
+}
+
+std::vector<std::uint64_t> ParallelSimulator::observed_response() const {
+  std::vector<std::uint64_t> out;
+  const auto points = netlist_->observe_points();
+  out.reserve(points.size());
+  for (GateId g : points) out.push_back(values_[netlist_->observed_gate(g)]);
+  return out;
+}
+
+}  // namespace aidft

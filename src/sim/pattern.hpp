@@ -1,0 +1,101 @@
+// Test patterns and pattern batches.
+//
+// A TestCube is one test vector over the full-scan combinational inputs
+// (primary inputs followed by DFF pseudo-inputs, in Netlist::
+// combinational_inputs() order), with X for don't-care positions. Cubes are
+// what ATPG produces; fully specified patterns are what simulators consume.
+//
+// PatternBatch packs up to 64 fully specified patterns bit-parallel: one
+// 64-bit word per input, bit p = value in pattern p. This is the unit of
+// work of the parallel-pattern simulators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/val3.hpp"
+
+namespace aidft {
+
+struct TestCube {
+  std::vector<Val3> bits;
+
+  TestCube() = default;
+  explicit TestCube(std::size_t ninputs) : bits(ninputs, Val3::kX) {}
+
+  std::size_t size() const { return bits.size(); }
+
+  /// Number of specified (non-X) positions.
+  std::size_t care_count() const {
+    std::size_t n = 0;
+    for (Val3 v : bits) n += (v != Val3::kX);
+    return n;
+  }
+
+  /// True if this cube and `other` agree on every position where both are
+  /// specified (i.e. they could be merged into one pattern).
+  bool compatible(const TestCube& other) const {
+    if (bits.size() != other.bits.size()) return false;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] != Val3::kX && other.bits[i] != Val3::kX &&
+          bits[i] != other.bits[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Merges `other` into this cube (specified positions win over X).
+  /// Precondition: compatible(other).
+  void merge(const TestCube& other) {
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] == Val3::kX) bits[i] = other.bits[i];
+    }
+  }
+
+  /// Replaces every X with a random bit.
+  void random_fill(Rng& rng) {
+    for (Val3& v : bits) {
+      if (v == Val3::kX) v = rng.next_bool() ? Val3::kOne : Val3::kZero;
+    }
+  }
+
+  /// Replaces every X with `fill`.
+  void constant_fill(Val3 fill) {
+    for (Val3& v : bits) {
+      if (v == Val3::kX) v = fill;
+    }
+  }
+
+  /// "01X..." string for debugging.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(bits.size());
+    for (Val3 v : bits) s.push_back(to_char(v));
+    return s;
+  }
+};
+
+/// Up to 64 fully specified patterns, bit-parallel.
+struct PatternBatch {
+  std::vector<std::uint64_t> words;  // one word per combinational input
+  std::size_t npatterns = 0;         // 1..64 valid bit lanes
+
+  /// Mask with bit p set for every valid pattern lane.
+  std::uint64_t lane_mask() const {
+    return npatterns >= 64 ? ~0ull : ((1ull << npatterns) - 1);
+  }
+};
+
+/// Packs up to 64 cubes (X treated as 0 — callers should fill first) into a
+/// batch. `cubes` must all have the same width.
+PatternBatch pack_patterns(const std::vector<TestCube>& cubes,
+                           std::size_t first, std::size_t count);
+
+/// Generates `count` uniformly random fully-specified patterns.
+std::vector<TestCube> random_patterns(std::size_t ninputs, std::size_t count,
+                                      Rng& rng);
+
+}  // namespace aidft

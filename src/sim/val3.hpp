@@ -1,0 +1,90 @@
+// Three-valued logic (0, 1, X) — the scalar value domain of test generation.
+//
+// The ATPG engines model the faulty machine as a second 3-valued copy of the
+// circuit, which makes the classic 5-valued D-calculus (0,1,X,D,D̄) emerge
+// componentwise: D is (good=1, faulty=0). This file provides the scalar
+// algebra; simulators provide the circuit traversal.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/types.hpp"
+
+namespace aidft {
+
+enum class Val3 : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+constexpr Val3 not3(Val3 a) {
+  if (a == Val3::kZero) return Val3::kOne;
+  if (a == Val3::kOne) return Val3::kZero;
+  return Val3::kX;
+}
+
+constexpr Val3 and3(Val3 a, Val3 b) {
+  if (a == Val3::kZero || b == Val3::kZero) return Val3::kZero;
+  if (a == Val3::kOne && b == Val3::kOne) return Val3::kOne;
+  return Val3::kX;
+}
+
+constexpr Val3 or3(Val3 a, Val3 b) {
+  if (a == Val3::kOne || b == Val3::kOne) return Val3::kOne;
+  if (a == Val3::kZero && b == Val3::kZero) return Val3::kZero;
+  return Val3::kX;
+}
+
+constexpr Val3 xor3(Val3 a, Val3 b) {
+  if (a == Val3::kX || b == Val3::kX) return Val3::kX;
+  return a == b ? Val3::kZero : Val3::kOne;
+}
+
+constexpr Val3 mux3(Val3 sel, Val3 d0, Val3 d1) {
+  if (sel == Val3::kZero) return d0;
+  if (sel == Val3::kOne) return d1;
+  // Unknown select: output known only if both data agree on a known value.
+  return (d0 == d1) ? d0 : Val3::kX;
+}
+
+constexpr char to_char(Val3 v) {
+  return v == Val3::kZero ? '0' : (v == Val3::kOne ? '1' : 'X');
+}
+
+constexpr bool is_known(Val3 v) { return v != Val3::kX; }
+
+/// Evaluates one gate in 3-valued logic. `fanin_val(i)` must return the
+/// Val3 of the gate's i-th fanin. Not meaningful for sources/DFFs (their
+/// value is state, not a function of fanin).
+template <typename FaninVal>
+Val3 eval_gate3(GateType type, std::size_t nfanin, FaninVal&& fanin_val) {
+  switch (type) {
+    case GateType::kConst0: return Val3::kZero;
+    case GateType::kConst1: return Val3::kOne;
+    case GateType::kOutput:
+    case GateType::kBuf:
+    case GateType::kDff:  // combinational view: D value (capture)
+      return fanin_val(0);
+    case GateType::kNot: return not3(fanin_val(0));
+    case GateType::kMux: return mux3(fanin_val(0), fanin_val(1), fanin_val(2));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Val3 v = Val3::kOne;
+      for (std::size_t i = 0; i < nfanin; ++i) v = and3(v, fanin_val(i));
+      return type == GateType::kAnd ? v : not3(v);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Val3 v = Val3::kZero;
+      for (std::size_t i = 0; i < nfanin; ++i) v = or3(v, fanin_val(i));
+      return type == GateType::kOr ? v : not3(v);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Val3 v = Val3::kZero;
+      for (std::size_t i = 0; i < nfanin; ++i) v = xor3(v, fanin_val(i));
+      return type == GateType::kXor ? v : not3(v);
+    }
+    case GateType::kInput: return Val3::kX;  // caller controls inputs
+  }
+  return Val3::kX;
+}
+
+}  // namespace aidft

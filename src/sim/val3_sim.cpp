@@ -1,0 +1,35 @@
+#include "sim/val3_sim.hpp"
+
+namespace aidft {
+
+Val3Simulator::Val3Simulator(const Netlist& netlist)
+    : netlist_(&netlist),
+      comb_inputs_(netlist.combinational_inputs()),
+      values_(netlist.num_gates(), Val3::kX) {
+  AIDFT_REQUIRE(netlist.finalized(), "Val3Simulator requires finalized netlist");
+}
+
+void Val3Simulator::simulate(const TestCube& cube) {
+  AIDFT_REQUIRE(cube.size() == comb_inputs_.size(),
+                "cube width != combinational input count");
+  for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
+    values_[comb_inputs_[i]] = cube.bits[i];
+  }
+  const Netlist& nl = *netlist_;
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    values_[id] = eval_gate3(g.type, g.fanin.size(),
+                             [&](std::size_t i) { return values_[g.fanin[i]]; });
+  }
+}
+
+std::vector<Val3> Val3Simulator::observed_response() const {
+  std::vector<Val3> out;
+  const auto points = netlist_->observe_points();
+  out.reserve(points.size());
+  for (GateId g : points) out.push_back(values_[netlist_->observed_gate(g)]);
+  return out;
+}
+
+}  // namespace aidft

@@ -1,0 +1,37 @@
+// Single-pattern 3-valued (0/1/X) full simulator.
+//
+// Used wherever partial assignments must be propagated exactly: PODEM's
+// implication step (via the ATPG module's good/faulty pair), X-propagation
+// checks, and tests that reason about don't-cares.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+#include "sim/val3.hpp"
+
+namespace aidft {
+
+class Val3Simulator {
+ public:
+  explicit Val3Simulator(const Netlist& netlist);
+
+  /// Assigns the combinational inputs from `cube` (PIs then DFF loads) and
+  /// simulates one full topological pass.
+  void simulate(const TestCube& cube);
+
+  Val3 value(GateId g) const { return values_[g]; }
+
+  /// Values observed at observe_points() (POs, then DFF D inputs).
+  std::vector<Val3> observed_response() const;
+
+  const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const Netlist* netlist_;
+  std::vector<GateId> comb_inputs_;
+  std::vector<Val3> values_;
+};
+
+}  // namespace aidft

@@ -1,0 +1,205 @@
+#include "compress/edt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.hpp"
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+#include "compress/session.hpp"
+#include "fault/fault.hpp"
+
+namespace aidft {
+namespace {
+
+std::vector<std::vector<Val3>> random_care_load(std::size_t chains,
+                                                std::size_t len,
+                                                double care_density, Rng& rng) {
+  std::vector<std::vector<Val3>> load(chains, std::vector<Val3>(len, Val3::kX));
+  for (auto& chain : load) {
+    for (auto& v : chain) {
+      if (rng.next_bool(care_density)) {
+        v = rng.next_bool() ? Val3::kOne : Val3::kZero;
+      }
+    }
+  }
+  return load;
+}
+
+// Fundamental codec property: whatever encode() returns, decompress() must
+// deliver every care bit.
+class EdtRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(EdtRoundTrip, EncodeDecompressDeliversCareBits) {
+  const auto [chains, len, density] = GetParam();
+  EdtConfig cfg;
+  EdtCodec codec(cfg, chains, len);
+  Rng rng(chains * 1000 + len);
+  std::size_t successes = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto load = random_care_load(chains, len, density, rng);
+    const auto encoded = codec.encode(load);
+    if (!encoded) continue;
+    ++successes;
+    ASSERT_EQ(encoded->size(), cfg.channels);
+    const auto delivered = codec.decompress(*encoded);
+    for (std::size_t c = 0; c < chains; ++c) {
+      for (std::size_t p = 0; p < len; ++p) {
+        if (load[c][p] == Val3::kX) continue;
+        EXPECT_EQ(delivered[c][p], load[c][p] == Val3::kOne)
+            << "chain " << c << " pos " << p;
+      }
+    }
+  }
+  // At low care density nearly everything must encode.
+  if (density <= 0.05) {
+    EXPECT_GE(successes, 18u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EdtRoundTrip,
+    ::testing::Values(std::make_tuple(std::size_t{8}, std::size_t{32}, 0.02),
+                      std::make_tuple(std::size_t{16}, std::size_t{32}, 0.05),
+                      std::make_tuple(std::size_t{32}, std::size_t{64}, 0.02),
+                      std::make_tuple(std::size_t{64}, std::size_t{16}, 0.02),
+                      std::make_tuple(std::size_t{4}, std::size_t{100}, 0.10)));
+
+TEST(Edt, OverconstrainedCubeFailsGracefully) {
+  // More care bits than injected variables cannot be linearly solvable.
+  EdtConfig cfg;
+  cfg.channels = 1;
+  EdtCodec codec(cfg, /*chains=*/16, /*len=*/8);  // 8 vars vs 128 care bits
+  std::vector<std::vector<Val3>> all_care(16, std::vector<Val3>(8, Val3::kOne));
+  // All-ones over every chain: only encodable if the phase shifter happens
+  // to produce it — with 8 variables and 128 constraints, essentially never.
+  EXPECT_FALSE(codec.encode(all_care).has_value());
+}
+
+TEST(Edt, EmptyCubeEncodesTrivially) {
+  EdtCodec codec(EdtConfig{}, 8, 16);
+  std::vector<std::vector<Val3>> empty(8, std::vector<Val3>(16, Val3::kX));
+  const auto encoded = codec.encode(empty);
+  ASSERT_TRUE(encoded.has_value());
+}
+
+TEST(Edt, CompressionRatioAccountsForWarmup) {
+  EdtConfig cfg;
+  cfg.channels = 2;
+  EdtCodec codec(cfg, 32, 50);
+  // warmup = lfsr_bits/channels = 16 cycles; bits/pattern = 2*(16+50).
+  EXPECT_EQ(codec.warmup_cycles(), 16u);
+  EXPECT_EQ(codec.bits_per_pattern(), 132u);
+  EXPECT_DOUBLE_EQ(codec.compression_ratio(), (32.0 * 50.0) / 132.0);
+  // Long chains amortise warm-up toward the chains/channels asymptote.
+  EdtCodec long_codec(cfg, 32, 2000);
+  EXPECT_GT(long_codec.compression_ratio(), 15.0);
+}
+
+TEST(Edt, RaggedChainsSupported) {
+  EdtConfig cfg;
+  EdtCodec codec(cfg, 3, 10);
+  Rng rng(5);
+  std::vector<std::vector<Val3>> load{
+      std::vector<Val3>(10, Val3::kX),
+      std::vector<Val3>(9, Val3::kX),
+      std::vector<Val3>(9, Val3::kX),
+  };
+  load[0][0] = Val3::kOne;
+  load[1][8] = Val3::kZero;
+  load[2][3] = Val3::kOne;
+  const auto encoded = codec.encode(load);
+  ASSERT_TRUE(encoded.has_value());
+  const auto delivered = codec.decompress(*encoded);
+  EXPECT_TRUE(delivered[0][0]);
+  EXPECT_FALSE(delivered[1][8]);
+  EXPECT_TRUE(delivered[2][3]);
+}
+
+TEST(XorCompactor, CompactAndVisibility) {
+  XorCompactor comp(8, 2);
+  EXPECT_EQ(comp.out_channels(), 2u);
+  std::vector<bool> bits(8, false);
+  bits[0] = bits[2] = true;  // both in group 0 -> XOR cancels
+  const auto out = comp.compact(bits);
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  // Visibility: single diff always visible; two diffs in one group alias.
+  std::vector<bool> d(8, false);
+  d[3] = true;
+  EXPECT_TRUE(comp.visible(d));
+  d[3] = false;
+  d[0] = d[2] = true;  // chains 0 and 2 share group 0 (round-robin % 2)
+  EXPECT_FALSE(comp.visible(d));
+  d[1] = true;  // odd count in group 1
+  EXPECT_TRUE(comp.visible(d));
+}
+
+TEST(Misr, SignatureSensitiveToSingleBit) {
+  Misr a(32), b(32);
+  std::vector<bool> resp(10, false);
+  for (int i = 0; i < 50; ++i) {
+    a.shift_in(resp);
+    if (i == 25) {
+      auto flipped = resp;
+      flipped[3] = true;
+      b.shift_in(flipped);
+    } else {
+      b.shift_in(resp);
+    }
+  }
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, DeterministicAndResettable) {
+  Misr a(16);
+  std::vector<bool> resp{true, false, true};
+  for (int i = 0; i < 8; ++i) a.shift_in(resp);
+  const auto sig = a.signature();
+  a.reset();
+  for (int i = 0; i < 8; ++i) a.shift_in(resp);
+  EXPECT_EQ(a.signature(), sig);
+}
+
+TEST(Session, CompressionPreservesCoverageOnMac) {
+  // The headline EDT claim in miniature: compress ATPG cubes ~10x and lose
+  // (almost) no coverage.
+  const Netlist nl = circuits::make_mac(4, /*registered=*/true);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  AtpgOptions atpg_opts;
+  atpg_opts.random_patterns = 0;  // compression consumes deterministic cubes
+  const AtpgResult atpg = generate_tests(nl, faults, atpg_opts);
+  ASSERT_FALSE(atpg.cubes.empty());
+
+  const ScanPlan plan = plan_scan_chains(nl, 4);
+  CompressedSessionConfig cfg;
+  const CompressedSessionResult session =
+      run_compressed_session(nl, plan, faults, atpg.cubes, cfg);
+
+  EXPECT_EQ(session.encode_failures, 0u)
+      << "MAC cubes are sparse; all should encode";
+  // Ideal-observation coverage must reach what the cube set itself covers
+  // (everything detected deterministically plus LFSR-fill luck).
+  EXPECT_GT(session.coverage_ideal(), 0.95);
+  // Compaction may alias a little, never gain.
+  EXPECT_LE(session.detected_compacted, session.detected_ideal);
+  EXPECT_GT(session.coverage_compacted(), 0.90);
+}
+
+TEST(Session, DeliveredPatternsAreFullySpecified) {
+  const Netlist nl = circuits::make_counter(8);
+  const auto faults = generate_stuck_at_faults(nl);
+  std::vector<TestCube> cubes(3, TestCube(nl.combinational_inputs().size()));
+  cubes[0].bits[2] = Val3::kOne;
+  cubes[1].bits[5] = Val3::kZero;
+  const ScanPlan plan = plan_scan_chains(nl, 2);
+  const auto session = run_compressed_session(nl, plan, faults, cubes,
+                                              CompressedSessionConfig{});
+  EXPECT_EQ(session.cubes_encoded + session.encode_failures, 3u);
+  for (const auto& p : session.delivered) {
+    EXPECT_EQ(p.care_count(), p.size());
+  }
+}
+
+}  // namespace
+}  // namespace aidft

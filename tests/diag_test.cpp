@@ -1,0 +1,142 @@
+#include "diag/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.hpp"
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(FailLog, CountsFailingPatterns) {
+  const Netlist nl = circuits::make_c17();
+  Rng rng(3);
+  const auto patterns = random_patterns(5, 32, rng);
+  const Fault defect{nl.find("G11"), kStemPin, 1, FaultKind::kStuckAt};
+  const FailLog log = simulate_defect(nl, patterns, defect);
+  EXPECT_TRUE(log.any_failure());
+  EXPECT_GT(log.failing_pattern_count(), 0u);
+  EXPECT_LE(log.failing_pattern_count(), patterns.size());
+}
+
+TEST(FailLog, FaultFreeChipHasNoFailures) {
+  const Netlist nl = circuits::make_c17();
+  Rng rng(3);
+  const auto patterns = random_patterns(5, 16, rng);
+  // A fault that this pattern set does not activate: use an unsatisfiable
+  // one — stuck at the value the line always takes is impossible, so pick a
+  // redundant fault instead.
+  const Netlist red = circuits::make_redundant();
+  const Fault redundant{red.find("t_bc_redundant"), kStemPin, 0,
+                        FaultKind::kStuckAt};
+  const auto patterns3 = random_patterns(3, 16, rng);
+  const FailLog log = simulate_defect(red, patterns3, redundant);
+  EXPECT_FALSE(log.any_failure());
+  EXPECT_EQ(log.failing_pattern_count(), 0u);
+}
+
+// The reproduction claim (E9): for single stuck-at defects, the injected
+// fault ranks at the top of the candidate list, with a perfect match score.
+class DiagnosisRanks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DiagnosisRanks, InjectedDefectRanksFirst) {
+  Netlist nl;
+  const std::string which = GetParam();
+  for (auto& nc : circuits::standard_suite()) {
+    if (which == nc.name) nl = std::move(nc.netlist);
+  }
+  ASSERT_TRUE(nl.finalized());
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(11);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
+
+  // Inject every 7th fault as the defect and diagnose.
+  std::size_t diagnosed = 0, top_ranked = 0, perfect_top = 0;
+  for (std::size_t d = 0; d < candidates.size(); d += 7) {
+    const FailLog log = simulate_defect(nl, patterns, candidates[d]);
+    if (!log.any_failure()) continue;  // defect escapes this pattern set
+    const DiagnosisResult result = diagnose(nl, patterns, log, candidates);
+    ++diagnosed;
+    const std::size_t rank = result.rank_of(candidates[d]);
+    ASSERT_GE(rank, 1u) << fault_name(nl, candidates[d]);
+    // The true defect always explains everything (TP = all, FP = FN = 0), so
+    // nothing can outscore it — but equivalent faults can tie.
+    const auto& top = result.ranked[0];
+    EXPECT_DOUBLE_EQ(top.score, result.ranked[result.rank_of(candidates[d]) - 1].score)
+        << fault_name(nl, candidates[d]);
+    if (rank == 1) ++top_ranked;
+    if (result.ranked[0].perfect()) ++perfect_top;
+  }
+  ASSERT_GT(diagnosed, 0u);
+  EXPECT_EQ(perfect_top, diagnosed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, DiagnosisRanks,
+                         ::testing::Values("c17", "rca8", "mul4", "alu8",
+                                           "cmp8", "cnt8"));
+
+TEST(Diagnosis, EquivalentFaultsTieAtTop) {
+  // In an inverter chain every same-class fault produces identical behaviour:
+  // diagnosis cannot do better than the equivalence class — and must return
+  // exactly that class tied at the top.
+  Netlist nl;
+  GateId g = nl.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    g = nl.add_gate(GateType::kNot, {g}, "inv" + std::to_string(i));
+  }
+  nl.add_output(g, "y");
+  nl.finalize();
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(5);
+  const auto patterns = random_patterns(1, 4, rng);
+  const Fault defect{nl.find("inv1"), kStemPin, 0, FaultKind::kStuckAt};
+  const FailLog log = simulate_defect(nl, patterns, defect);
+  ASSERT_TRUE(log.any_failure());
+  const DiagnosisResult result = diagnose(nl, patterns, log, candidates);
+  // 5 faults behave identically (equivalence class across the chain).
+  ASSERT_GE(result.ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.ranked[0].score, result.ranked[1].score);
+  EXPECT_GE(result.rank_of(defect), 1u);
+}
+
+TEST(Diagnosis, MoreFailingPatternsImproveResolution) {
+  // E9's second claim: resolution (top-score tie group size) shrinks as the
+  // log gets richer.
+  const Netlist nl = circuits::make_array_multiplier(4);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(9);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 256, rng);
+  const Fault defect = candidates[candidates.size() / 2];
+
+  auto tie_size_with = [&](std::size_t npat) -> std::size_t {
+    std::vector<TestCube> subset(patterns.begin(), patterns.begin() + npat);
+    const FailLog log = simulate_defect(nl, subset, defect);
+    if (!log.any_failure()) return candidates.size();
+    const DiagnosisResult r = diagnose(nl, subset, log, candidates);
+    std::size_t ties = 0;
+    for (const auto& c : r.ranked) {
+      if (c.score == r.ranked[0].score) ++ties;
+    }
+    return ties;
+  };
+  EXPECT_LE(tie_size_with(256), tie_size_with(8));
+}
+
+TEST(Diagnosis, EmptyLogYieldsNoCandidates) {
+  const Netlist nl = circuits::make_c17();
+  Rng rng(2);
+  const auto patterns = random_patterns(5, 8, rng);
+  FailLog log;
+  log.num_patterns = patterns.size();
+  log.num_observe_points = nl.observe_points().size();
+  log.blocks.assign(1, std::vector<std::uint64_t>(log.num_observe_points, 0));
+  const auto candidates = generate_stuck_at_faults(nl);
+  const DiagnosisResult r = diagnose(nl, patterns, log, candidates);
+  EXPECT_TRUE(r.ranked.empty());
+  EXPECT_EQ(r.rank_of(candidates[0]), 0u);
+}
+
+}  // namespace
+}  // namespace aidft

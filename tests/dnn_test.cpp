@@ -1,0 +1,126 @@
+#include "dnn/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/mlp.hpp"
+
+namespace aidft::dnn {
+namespace {
+
+Dataset train_set() { return make_cluster_dataset(512, 16, 4, 1); }
+Dataset test_set() { return make_cluster_dataset(256, 16, 4, 2); }
+
+struct TrainedModels {
+  MlpFloat fp;
+  QuantizedMlp q;
+  TrainedModels()
+      : fp(16, 16, 4, 3), q(QuantizedMlp::quantize([this] {
+          fp.train(train_set(), 20, 0.05);
+          return fp;
+        }())) {}
+};
+
+const TrainedModels& models() {
+  static const TrainedModels m;
+  return m;
+}
+
+TEST(Dataset, DeterministicAndLabeled) {
+  const Dataset a = make_cluster_dataset(100, 8, 3, 7);
+  const Dataset b = make_cluster_dataset(100, 8, 3, 7);
+  ASSERT_EQ(a.x.size(), 100u);
+  EXPECT_EQ(a.x[5], b.x[5]);
+  EXPECT_EQ(a.y, b.y);
+  for (int y : a.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 3);
+  }
+}
+
+TEST(MlpFloat, LearnsClusters) {
+  const double acc = models().fp.accuracy(test_set());
+  EXPECT_GT(acc, 0.9) << "float model failed to learn separable clusters";
+}
+
+TEST(QuantizedMlp, TracksFloatAccuracy) {
+  const double facc = models().fp.accuracy(test_set());
+  const double qacc = models().q.accuracy(test_set());
+  EXPECT_GT(qacc, facc - 0.08) << "int8 quantization lost too much";
+}
+
+TEST(MacUnit, FaultFreeIsExact) {
+  MacUnit mac;
+  EXPECT_EQ(mac.mac(100, 7, -3, 0, 0), 100 - 21);
+  EXPECT_EQ(mac.mac(0, -128 + 1, 127, 2, 1), -127 * 127);
+}
+
+TEST(MacUnit, StuckBitCorruptsProduct) {
+  MacFault f;
+  f.site = MacFault::Site::kMultiplierOut;
+  f.bit = 3;
+  f.stuck_one = true;
+  f.channel = -1;
+  MacUnit mac(f);
+  // 2*2 = 4 (bit 2); forcing bit 3 -> 12.
+  EXPECT_EQ(mac.mac(0, 2, 2, 0, 0), 12);
+  // Channel gating: fault on channel 5 leaves channel 0 clean.
+  f.channel = 5;
+  MacUnit gated(f);
+  EXPECT_EQ(gated.mac(0, 2, 2, 0, 0), 4);
+  EXPECT_EQ(gated.mac(0, 2, 2, 5, 0), 12);
+}
+
+TEST(DnnFaults, HighBitAccumulatorFaultCratersAccuracy) {
+  // The tutorial's case-study shape: a stuck-at in a high accumulator bit
+  // destroys the classifier; a low product bit barely moves it.
+  const Dataset eval = test_set();
+  const double clean = models().q.accuracy(eval);
+
+  MacFault high;
+  high.site = MacFault::Site::kAccumulator;
+  high.bit = 20;
+  high.stuck_one = true;
+  high.channel = -1;  // every channel: catastrophic
+  const double broken = models().q.accuracy(eval, MacUnit(high));
+
+  MacFault low;
+  low.site = MacFault::Site::kMultiplierOut;
+  low.bit = 0;
+  low.stuck_one = false;
+  low.channel = 0;
+  low.layer = 0;
+  const double nudged = models().q.accuracy(eval, MacUnit(low));
+
+  EXPECT_LT(broken, clean - 0.3);
+  EXPECT_GT(nudged, clean - 0.05);
+}
+
+TEST(DnnFaults, SingleChannelFaultIsMilderThanGlobal) {
+  const Dataset eval = test_set();
+  MacFault f;
+  f.site = MacFault::Site::kAccumulator;
+  f.bit = 18;
+  f.stuck_one = true;
+  f.channel = 0;
+  const double one_channel = models().q.accuracy(eval, MacUnit(f));
+  f.channel = -1;
+  const double all_channels = models().q.accuracy(eval, MacUnit(f));
+  EXPECT_GE(one_channel, all_channels);
+}
+
+TEST(DnnFaults, Sa0OnUsuallyZeroBitIsBenign) {
+  // Stuck-at-0 on a product bit that is rarely 1 — most inferences intact:
+  // the functional-test blind spot that motivates structural test.
+  const Dataset eval = test_set();
+  MacFault f;
+  f.site = MacFault::Site::kMultiplierOut;
+  f.bit = 14;  // |product| <= 127*127 < 2^14: bit 14 only set for negatives
+  f.stuck_one = false;
+  f.channel = 1;
+  f.layer = 1;
+  const double acc = models().q.accuracy(eval, MacUnit(f));
+  EXPECT_GT(acc, 0.5);
+}
+
+}  // namespace
+}  // namespace aidft::dnn

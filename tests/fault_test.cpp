@@ -1,0 +1,164 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_circuits/generators.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(FaultGen, C17UncollapsedCount) {
+  // c17: 5 PIs + 6 NANDs = 11 stems (22 faults). Branch pins: G3 forks to
+  // G10,G11; G11 forks to G16,G19; G16 forks to G22,G23. That is 6 branch
+  // pins (12 faults) — 34 uncollapsed faults total.
+  const Netlist nl = circuits::make_c17();
+  const auto faults = generate_stuck_at_faults(nl);
+  EXPECT_EQ(faults.size(), 34u);
+}
+
+TEST(FaultGen, EveryFaultSiteIsCanonical) {
+  for (const auto& nc : circuits::standard_suite()) {
+    const auto faults = generate_stuck_at_faults(nc.netlist);
+    for (const Fault& f : faults) {
+      const auto [g, p] = canonical_line(nc.netlist, f.gate, f.pin);
+      EXPECT_EQ(g, f.gate) << nc.name;
+      EXPECT_EQ(p, f.pin) << nc.name;
+    }
+  }
+}
+
+TEST(FaultGen, NoFaultsOnOutputMarkers) {
+  const Netlist nl = circuits::make_alu(4);
+  for (const Fault& f : generate_stuck_at_faults(nl)) {
+    EXPECT_NE(nl.type(f.gate), GateType::kOutput);
+  }
+}
+
+TEST(FaultGen, ConstGatesOnlyOppositePolarity) {
+  Netlist nl;
+  const GateId c0 = nl.add_gate(GateType::kConst0, "c0");
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kOr, {c0, a}, "g");
+  nl.add_output(g, "y");
+  nl.finalize();
+  int c0_faults = 0;
+  for (const Fault& f : generate_stuck_at_faults(nl)) {
+    if (f.gate == c0) {
+      ++c0_faults;
+      EXPECT_TRUE(f.stuck_at_one());
+    }
+  }
+  EXPECT_EQ(c0_faults, 1);
+}
+
+TEST(FaultGen, NoDuplicates) {
+  for (const auto& nc : circuits::standard_suite()) {
+    const auto faults = generate_stuck_at_faults(nc.netlist);
+    std::set<std::tuple<GateId, int, int>> seen;
+    for (const Fault& f : faults) {
+      EXPECT_TRUE(seen.insert({f.gate, f.pin, f.value}).second) << nc.name;
+    }
+  }
+}
+
+TEST(Collapse, EquivalenceShrinksAndIsSubset) {
+  for (const auto& nc : circuits::standard_suite()) {
+    const auto all = generate_stuck_at_faults(nc.netlist);
+    const auto collapsed = collapse_equivalent(nc.netlist, all);
+    EXPECT_LE(collapsed.size(), all.size()) << nc.name;
+    std::set<std::tuple<GateId, int, int>> universe;
+    for (const Fault& f : all) universe.insert({f.gate, f.pin, f.value});
+    for (const Fault& f : collapsed) {
+      EXPECT_TRUE(universe.count({f.gate, f.pin, f.value})) << nc.name;
+    }
+  }
+}
+
+TEST(Collapse, InverterChainCollapsesToTwo) {
+  // A chain of inverters has exactly one equivalence class per polarity.
+  Netlist nl;
+  GateId g = nl.add_input("a");
+  for (int i = 0; i < 6; ++i) {
+    g = nl.add_gate(GateType::kNot, {g}, "inv" + std::to_string(i));
+  }
+  nl.add_output(g, "y");
+  nl.finalize();
+  const auto all = generate_stuck_at_faults(nl);
+  EXPECT_EQ(all.size(), 14u);  // 7 lines x 2
+  const auto collapsed = collapse_equivalent(nl, all);
+  EXPECT_EQ(collapsed.size(), 2u);
+}
+
+TEST(Collapse, AndGateClassicCounts) {
+  // Single 2-input AND: lines a, b, y; uncollapsed 6 faults. Equivalence
+  // merges {a/0, b/0, y/0} -> 4 remain. Dominance drops y/1 -> 3 remain.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId y = nl.add_gate(GateType::kAnd, {a, b}, "y");
+  nl.add_output(y, "o");
+  nl.finalize();
+  const auto all = generate_stuck_at_faults(nl);
+  EXPECT_EQ(all.size(), 6u);
+  const auto eq = collapse_equivalent(nl, all);
+  EXPECT_EQ(eq.size(), 4u);
+  const auto dom = collapse_dominance(nl, eq);
+  EXPECT_EQ(dom.size(), 3u);
+}
+
+TEST(Collapse, RatioInClassicRange) {
+  // Textbook: equivalence collapsing keeps roughly 40-70% of the universe
+  // on gate-level circuits.
+  for (const auto& nc : circuits::standard_suite()) {
+    const auto all = generate_stuck_at_faults(nc.netlist);
+    if (all.size() < 20) continue;
+    const auto eq = collapse_equivalent(nc.netlist, all);
+    const double ratio = static_cast<double>(eq.size()) / all.size();
+    EXPECT_GT(ratio, 0.25) << nc.name;
+    EXPECT_LE(ratio, 1.0) << nc.name;
+  }
+}
+
+TEST(Collapse, XorGateDoesNotCollapse) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId y = nl.add_gate(GateType::kXor, {a, b}, "y");
+  nl.add_output(y, "o");
+  nl.finalize();
+  const auto all = generate_stuck_at_faults(nl);
+  EXPECT_EQ(collapse_equivalent(nl, all).size(), all.size());
+}
+
+TEST(Sample, DeterministicAndSized) {
+  const Netlist nl = circuits::make_array_multiplier(8);
+  const auto all = generate_stuck_at_faults(nl);
+  const auto s1 = sample_faults(all, 0.25, 42);
+  const auto s2 = sample_faults(all, 0.25, 42);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i], s2[i]);
+  EXPECT_NEAR(static_cast<double>(s1.size()), all.size() * 0.25, 1.0);
+  EXPECT_THROW(sample_faults(all, 0.0, 1), Error);
+}
+
+TEST(FaultName, ReadableLabels) {
+  const Netlist nl = circuits::make_c17();
+  const GateId g10 = nl.find("G10");
+  EXPECT_EQ(fault_name(nl, Fault{g10, kStemPin, 1, FaultKind::kStuckAt}),
+            "G10/SA1");
+  EXPECT_EQ(fault_name(nl, Fault{g10, 0, 0, FaultKind::kTransition}),
+            "G10.in0/STF");
+}
+
+TEST(TransitionGen, SameLinesAsStuckAtMinusConstants) {
+  const Netlist nl = circuits::make_alu(4);
+  const auto sa = generate_stuck_at_faults(nl);
+  const auto tr = generate_transition_faults(nl);
+  EXPECT_EQ(sa.size(), tr.size());  // alu4 has no constant gates
+  for (const Fault& f : tr) EXPECT_EQ(f.kind, FaultKind::kTransition);
+}
+
+}  // namespace
+}  // namespace aidft

@@ -1,0 +1,219 @@
+#include "fsim/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+
+namespace aidft {
+namespace {
+
+// The fundamental engine property: PPSFP must agree with full-resimulation
+// on every fault and every pattern, over randomly structured circuits.
+class PpsfpVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PpsfpVsReference, AgreeOnRandomLogic) {
+  const std::uint64_t seed = GetParam();
+  const Netlist nl = circuits::make_random_logic(10, 250, seed);
+  const auto faults = generate_stuck_at_faults(nl);
+  Rng rng(seed * 17 + 1);
+  const auto cubes = random_patterns(nl.combinational_inputs().size(), 64, rng);
+  const PatternBatch batch = pack_patterns(cubes, 0, 64);
+
+  FaultSimulator fsim(nl);
+  fsim.load_batch(batch);
+  for (const Fault& f : faults) {
+    EXPECT_EQ(fsim.detect_mask(f), fsim.detect_mask_reference(batch, f))
+        << fault_name(nl, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PpsfpVsReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+class PpsfpVsReferenceStructured
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PpsfpVsReferenceStructured, AgreeOnSuiteCircuit) {
+  Netlist nl;
+  const std::string which = GetParam();
+  for (auto& nc : circuits::standard_suite()) {
+    if (which == nc.name) nl = std::move(nc.netlist);
+  }
+  ASSERT_TRUE(nl.finalized()) << "unknown circuit " << which;
+  const auto faults = generate_stuck_at_faults(nl);
+  Rng rng(5);
+  const auto cubes = random_patterns(nl.combinational_inputs().size(), 64, rng);
+  const PatternBatch batch = pack_patterns(cubes, 0, 64);
+  FaultSimulator fsim(nl);
+  fsim.load_batch(batch);
+  for (const Fault& f : faults) {
+    EXPECT_EQ(fsim.detect_mask(f), fsim.detect_mask_reference(batch, f))
+        << fault_name(nl, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, PpsfpVsReferenceStructured,
+                         ::testing::Values("c17", "rca8", "cla16", "mul4",
+                                           "alu8", "parity16", "muxtree4",
+                                           "cmp8", "dec4", "rpr4x8", "cnt8",
+                                           "mac8"));
+
+TEST(FaultSim, KnownC17Detection) {
+  // Classic example: with all inputs at 1, G11 (NAND(G3,G6)) is 0; fault
+  // G11/SA1 flips it and propagates to both outputs.
+  const Netlist nl = circuits::make_c17();
+  std::vector<TestCube> cubes(1, TestCube(5));
+  cubes[0].constant_fill(Val3::kOne);
+  FaultSimulator fsim(nl);
+  fsim.load_batch(pack_patterns(cubes, 0, 1));
+  const Fault f{nl.find("G11"), kStemPin, 1, FaultKind::kStuckAt};
+  EXPECT_EQ(fsim.detect_mask(f), 1ull);
+  // G11/SA0 is not activated by this pattern (good value is already 0).
+  const Fault f0{nl.find("G11"), kStemPin, 0, FaultKind::kStuckAt};
+  EXPECT_EQ(fsim.detect_mask(f0), 0ull);
+}
+
+TEST(FaultSim, UnactivatedFaultNotDetected) {
+  const Netlist nl = circuits::make_ripple_adder(4);
+  // All zeros: any SA0 on a line already at 0 cannot be detected.
+  std::vector<TestCube> cubes(1, TestCube(nl.combinational_inputs().size()));
+  cubes[0].constant_fill(Val3::kZero);
+  FaultSimulator fsim(nl);
+  fsim.load_batch(pack_patterns(cubes, 0, 1));
+  for (const Fault& f : generate_stuck_at_faults(nl)) {
+    if (!f.stuck_at_one() && fsim.line_value(f) == 0) {
+      EXPECT_EQ(fsim.detect_mask(f), 0ull) << fault_name(nl, f);
+    }
+  }
+}
+
+TEST(FaultSim, DffPinFaultIsCaptureDetected) {
+  // in -> DFF: a SA on the D pin is detected exactly when the driver value
+  // differs from the stuck value.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateType::kAnd, {a, b}, "g");
+  const GateId g2 = nl.add_gate(GateType::kOr, {g, a}, "g2");  // make g fork
+  const GateId ff = nl.add_dff(g, "ff");
+  nl.add_output(ff, "q");
+  nl.add_output(g2, "y");
+  nl.finalize();
+  ASSERT_EQ(nl.gate(g).fanout.size(), 2u);
+
+  std::vector<TestCube> cubes;
+  for (int m = 0; m < 4; ++m) {
+    TestCube c(3);  // inputs a, b + DFF pseudo-input
+    c.bits = {(m & 1) ? Val3::kOne : Val3::kZero,
+              (m & 2) ? Val3::kOne : Val3::kZero, Val3::kZero};
+    cubes.push_back(c);
+  }
+  FaultSimulator fsim(nl);
+  fsim.load_batch(pack_patterns(cubes, 0, 4));
+  const Fault d_sa0{ff, 0, 0, FaultKind::kStuckAt};
+  // g = a&b is 1 only in lane 3; SA0 on the D pin detected only there.
+  EXPECT_EQ(fsim.detect_mask(d_sa0), 0b1000ull);
+  const Fault d_sa1{ff, 0, 1, FaultKind::kStuckAt};
+  EXPECT_EQ(fsim.detect_mask(d_sa1), 0b0111ull);
+}
+
+TEST(FaultSim, CampaignCoverageMonotone) {
+  const Netlist nl = circuits::make_array_multiplier(5);
+  const auto faults = generate_stuck_at_faults(nl);
+  Rng rng(2);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 192, rng);
+  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  ASSERT_EQ(r.detected_after.size(), patterns.size());
+  for (std::size_t i = 1; i < r.detected_after.size(); ++i) {
+    EXPECT_GE(r.detected_after[i], r.detected_after[i - 1]);
+  }
+  EXPECT_EQ(r.detected_after.back(), r.detected);
+  EXPECT_GT(r.coverage(), 0.85);  // multipliers are random-pattern friendly
+}
+
+TEST(FaultSim, CampaignMatchesReferenceCampaign) {
+  const Netlist nl = circuits::make_alu(4);
+  const auto faults = generate_stuck_at_faults(nl);
+  Rng rng(9);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng);
+  const CampaignResult fast = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult ref = run_fault_campaign_reference(nl, faults, patterns);
+  EXPECT_EQ(fast.detected, ref.detected);
+  ASSERT_EQ(fast.first_detected_by.size(), ref.first_detected_by.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(fast.first_detected_by[i], ref.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+  }
+}
+
+TEST(FaultSim, RpResistantEscapesRandomPatterns) {
+  // Wide AND cones: SA0 at the cone output needs all 12 inputs at 1, which
+  // 64 random patterns essentially never produce.
+  const Netlist nl = circuits::make_rp_resistant(2, 12);
+  const auto faults = generate_stuck_at_faults(nl);
+  Rng rng(4);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng);
+  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  EXPECT_LT(r.coverage(), 1.0);
+}
+
+TEST(FaultSim, TransitionNeedsLaunchTransition) {
+  // y = BUF(a). Slow-to-rise on a needs launch a=0, capture a=1.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId y = nl.add_gate(GateType::kBuf, {a}, "y");
+  nl.add_output(y, "o");
+  nl.finalize();
+  FaultSimulator fsim(nl);
+  auto batch_of = [&](std::initializer_list<int> bits) {
+    std::vector<TestCube> cubes;
+    for (int b : bits) {
+      TestCube c(1);
+      c.bits[0] = b ? Val3::kOne : Val3::kZero;
+      cubes.push_back(c);
+    }
+    return pack_patterns(cubes, 0, cubes.size());
+  };
+  const Fault str{a, kStemPin, 1, FaultKind::kTransition};  // slow-to-rise
+  // Capture lane must have a=1 (propagating SA0) AND launch lane a=0.
+  fsim.load_batch(batch_of({1, 1}));
+  fsim.load_launch_batch(batch_of({0, 1}));
+  EXPECT_EQ(fsim.detect_mask(str), 0b01ull);  // lane1 launch=1: not armed
+  fsim.load_launch_batch(batch_of({0, 0}));
+  EXPECT_EQ(fsim.detect_mask(str), 0b11ull);
+  fsim.load_batch(batch_of({0, 0}));  // capture can't propagate SA0 on a=0
+  fsim.load_launch_batch(batch_of({0, 0}));
+  EXPECT_EQ(fsim.detect_mask(str), 0ull);
+}
+
+TEST(FaultSim, TransitionCampaignUsesConsecutivePairs) {
+  const Netlist nl = circuits::make_ripple_adder(4);
+  const auto faults = generate_transition_faults(nl);
+  Rng rng(21);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 256, rng);
+  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  // Random consecutive pairs both arm and detect most transition faults on
+  // an adder.
+  EXPECT_GT(r.coverage(), 0.7);
+  // Pattern 0 can never be a capture pattern with an armed launch.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_NE(r.first_detected_by[i], 0);
+  }
+}
+
+TEST(FaultSim, EmptyInputsAreHandled) {
+  const Netlist nl = circuits::make_c17();
+  const auto faults = generate_stuck_at_faults(nl);
+  const CampaignResult r0 = run_fault_campaign(nl, faults, {});
+  EXPECT_EQ(r0.detected, 0u);
+  Rng rng(1);
+  const CampaignResult r1 = run_fault_campaign(nl, std::span<const Fault>{},
+                                               random_patterns(5, 8, rng));
+  EXPECT_EQ(r1.total_faults, 0u);
+  EXPECT_EQ(r1.coverage(), 1.0);
+}
+
+}  // namespace
+}  // namespace aidft

@@ -1,0 +1,87 @@
+#include "diag/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(MultiDiag, RecoversADoubleDefect) {
+  const Netlist nl = circuits::make_array_multiplier(5);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(13);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
+
+  // Two defects far apart in the candidate list (distinct cones, typically).
+  const std::vector<Fault> defects{candidates[10],
+                                   candidates[candidates.size() - 20]};
+  const FailLog log = simulate_defects(nl, patterns, defects);
+  ASSERT_TRUE(log.any_failure());
+
+  const MultiDiagnosisResult r =
+      diagnose_multiplet(nl, patterns, log, candidates, 4);
+  ASSERT_GE(r.selected.size(), 2u);
+  EXPECT_EQ(r.unexplained, 0u)
+      << "greedy cover must fully explain a superposed double defect";
+  // Each injected defect (or an equivalent of it) appears among the picks:
+  // check by behaviour — every selected candidate must overlap the log, and
+  // together they explain everything; additionally at least one pick must
+  // match each defect's own fail signature dominantly. We verify the
+  // simpler, stronger containment: re-simulating the selected multiplet
+  // reproduces the observed log exactly.
+  std::vector<Fault> picked;
+  for (const auto& c : r.selected) picked.push_back(c.fault);
+  const FailLog repro = simulate_defects(nl, patterns, picked);
+  EXPECT_EQ(repro.blocks, log.blocks);
+}
+
+TEST(MultiDiag, SingleDefectNeedsSingleCandidate) {
+  const Netlist nl = circuits::make_alu(4);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(7);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
+  const Fault defect = candidates[candidates.size() / 2];
+  const FailLog log = simulate_defect(nl, patterns, defect);
+  if (!log.any_failure()) GTEST_SKIP() << "defect escapes this pattern set";
+  const MultiDiagnosisResult r =
+      diagnose_multiplet(nl, patterns, log, candidates, 4);
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.unexplained, 0u);
+  // The pick is behaviourally identical to the defect.
+  const FailLog repro = simulate_defect(nl, patterns, r.selected[0].fault);
+  EXPECT_EQ(repro.blocks, log.blocks);
+}
+
+TEST(MultiDiag, StopsAtMaxDefects) {
+  const Netlist nl = circuits::make_array_multiplier(4);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(3);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng);
+  const std::vector<Fault> defects{candidates[5], candidates[50],
+                                   candidates[100], candidates[150],
+                                   candidates[200]};
+  const FailLog log = simulate_defects(nl, patterns, defects);
+  const MultiDiagnosisResult r =
+      diagnose_multiplet(nl, patterns, log, candidates, 2);
+  EXPECT_LE(r.selected.size(), 2u);
+}
+
+TEST(MultiDiag, CleanLogSelectsNothing) {
+  const Netlist nl = circuits::make_alu(4);
+  const auto candidates = generate_stuck_at_faults(nl);
+  Rng rng(9);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 32, rng);
+  FailLog clean;
+  clean.num_patterns = patterns.size();
+  clean.num_observe_points = nl.observe_points().size();
+  clean.blocks.assign(1, std::vector<std::uint64_t>(clean.num_observe_points, 0));
+  const MultiDiagnosisResult r =
+      diagnose_multiplet(nl, patterns, clean, candidates, 4);
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_EQ(r.explained, 0u);
+}
+
+}  // namespace
+}  // namespace aidft

@@ -1,0 +1,229 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/scoap.hpp"
+#include "netlist/stats.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(Netlist, BuildAndFinalize) {
+  Netlist nl("t");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateType::kAnd, {a, b}, "g");
+  nl.add_output(g, "y");
+  nl.finalize();
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_EQ(nl.num_gates(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate(g).level, 1u);
+  EXPECT_EQ(nl.gate(g).fanout.size(), 1u);
+  EXPECT_EQ(nl.find("g"), g);
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_gate(GateType::kMux, {a, a}, "m");  // MUX needs 3 fanins
+  EXPECT_THROW(nl.finalize(), Error);
+}
+
+TEST(Netlist, RejectsCombinationalCycle) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(GateType::kAnd, "g1");
+  const GateId g2 = nl.add_gate(GateType::kOr, "g2");
+  nl.connect(a, g1);
+  nl.connect(g2, g1);
+  nl.connect(g1, g2);
+  nl.connect(a, g2);
+  EXPECT_THROW(nl.finalize(), Error);
+}
+
+TEST(Netlist, DffBreaksCycle) {
+  // q = DFF(not q) — a divide-by-two toggle; legal because the flop breaks
+  // the loop.
+  Netlist nl;
+  const GateId q = nl.add_gate(GateType::kDff, "q");
+  const GateId nq = nl.add_gate(GateType::kNot, {q}, "nq");
+  nl.connect(nq, q);
+  nl.add_output(q, "y");
+  EXPECT_NO_THROW(nl.finalize());
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), Error);
+}
+
+TEST(Netlist, CombinationalViewListsPpiAndPpo) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId ff = nl.add_dff(a, "ff");
+  const GateId g = nl.add_gate(GateType::kXor, {a, ff}, "g");
+  nl.add_output(g, "y");
+  nl.finalize();
+  const auto ci = nl.combinational_inputs();
+  ASSERT_EQ(ci.size(), 2u);
+  EXPECT_EQ(ci[0], a);
+  EXPECT_EQ(ci[1], ff);
+  const auto op = nl.observe_points();
+  ASSERT_EQ(op.size(), 2u);
+  // PO marker observes itself; DFF observes its D driver (gate a).
+  EXPECT_EQ(nl.observed_gate(op[0]), op[0]);
+  EXPECT_EQ(nl.observed_gate(op[1]), a);
+}
+
+TEST(Netlist, LevelsAreMonotone) {
+  const Netlist nl = circuits::make_array_multiplier(6);
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (is_source(g.type) || is_state_element(g.type)) continue;
+    for (GateId f : g.fanin) {
+      EXPECT_LT(nl.gate(f).level, g.level);
+    }
+  }
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  const Netlist nl = circuits::make_alu(8);
+  std::vector<std::size_t> pos(nl.num_gates());
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), nl.num_gates());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (is_source(g.type) || is_state_element(g.type)) continue;
+    for (GateId f : g.fanin) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(BenchIo, RoundTripC17) {
+  const Netlist c17 = circuits::make_c17();
+  const std::string text = write_bench_string(c17);
+  const Netlist back = read_bench_string(text, "c17rt");
+  EXPECT_EQ(back.inputs().size(), c17.inputs().size());
+  EXPECT_EQ(back.outputs().size(), c17.outputs().size());
+  EXPECT_EQ(back.logic_gate_count(), c17.logic_gate_count());
+}
+
+TEST(BenchIo, ParsesClassicSyntax) {
+  const std::string text = R"(
+# a comment
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G5)
+G4 = NOT(G1)
+G5 = nand(G4, G2)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.type(nl.find("G5")), GateType::kNand);
+}
+
+TEST(BenchIo, SequentialRoundTrip) {
+  const Netlist cnt = circuits::make_counter(4);
+  const Netlist back = read_bench_string(write_bench_string(cnt), "cnt_rt");
+  EXPECT_EQ(back.dffs().size(), cnt.dffs().size());
+  EXPECT_EQ(back.logic_gate_count(), cnt.logic_gate_count());
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"),
+               Error);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n"), Error);
+}
+
+TEST(Scoap, InputsCostOne) {
+  const Netlist nl = circuits::make_c17();
+  const ScoapResult s = compute_scoap(nl);
+  for (GateId pi : nl.inputs()) {
+    EXPECT_EQ(s.cc0[pi], 1u);
+    EXPECT_EQ(s.cc1[pi], 1u);
+  }
+}
+
+TEST(Scoap, AndGateAsymmetry) {
+  // Wide AND: CC1 grows with width, CC0 stays cheap.
+  Netlist nl;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const GateId g = nl.add_gate(
+      GateType::kAnd, std::span<const GateId>(ins.data(), ins.size()), "g");
+  nl.add_output(g, "y");
+  nl.finalize();
+  const ScoapResult s = compute_scoap(nl);
+  EXPECT_EQ(s.cc1[g], 8u + 1u);  // all eight inputs at 1
+  EXPECT_EQ(s.cc0[g], 1u + 1u);  // one input at 0
+}
+
+TEST(Scoap, ObservabilityZeroAtOutputs) {
+  const Netlist nl = circuits::make_c17();
+  const ScoapResult s = compute_scoap(nl);
+  for (GateId po : nl.outputs()) {
+    EXPECT_EQ(s.co[nl.gate(po).fanin[0]], 0u);
+  }
+}
+
+TEST(Scoap, Const0CannotBeOne) {
+  Netlist nl;
+  const GateId c = nl.add_gate(GateType::kConst0, "c");
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kOr, {c, a}, "g");
+  nl.add_output(g, "y");
+  nl.finalize();
+  const ScoapResult s = compute_scoap(nl);
+  EXPECT_EQ(s.cc1[c], kUnreachable);
+  EXPECT_EQ(s.cc0[c], 0u);
+}
+
+TEST(Scoap, DeepLinesHarderToControl) {
+  const Netlist nl = circuits::make_ripple_adder(16);
+  const ScoapResult s = compute_scoap(nl);
+  // Everything in an adder is testable: all measures finite.
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    EXPECT_LT(s.cc0[id], kUnreachable) << id;
+    EXPECT_LT(s.cc1[id], kUnreachable) << id;
+    if (!nl.gate(id).fanout.empty() || nl.type(id) == GateType::kOutput) {
+      EXPECT_LT(s.co[id], kUnreachable) << id;
+    }
+  }
+  // Controllability grows along the carry chain: the MSB sum depends on the
+  // whole ripple, the LSB sum on three inputs.
+  const GateId s0 = nl.find("sum[0]");
+  const GateId s15 = nl.find("sum[15]");
+  ASSERT_NE(s0, kNoGate);
+  ASSERT_NE(s15, kNoGate);
+  EXPECT_GT(s.cc_min(s15), s.cc_min(s0));
+}
+
+TEST(Stats, ReportsBasics) {
+  const Netlist nl = circuits::make_mac(4, /*registered=*/true);
+  const NetlistStats st = compute_stats(nl);
+  EXPECT_GT(st.num_logic_gates, 50u);
+  EXPECT_EQ(st.num_dffs, nl.dffs().size());
+  EXPECT_GT(st.depth, 4u);
+  EXPECT_FALSE(st.to_string().empty());
+}
+
+TEST(Generators, StandardSuiteAllFinalize) {
+  for (const auto& nc : circuits::standard_suite()) {
+    EXPECT_TRUE(nc.netlist.finalized()) << nc.name;
+    EXPECT_GT(nc.netlist.num_gates(), 0u) << nc.name;
+  }
+}
+
+}  // namespace
+}  // namespace aidft

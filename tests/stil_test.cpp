@@ -1,0 +1,80 @@
+#include "scan/stil_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(Stil, ContainsAllStructuralBlocks) {
+  const Netlist nl = circuits::make_counter(6);
+  const ScanPlan plan = plan_scan_chains(nl, 2);
+  Rng rng(1);
+  const auto patterns = random_patterns(nl.combinational_inputs().size(), 3, rng);
+  const std::string stil = write_stil_string(nl, plan, patterns);
+
+  EXPECT_NE(stil.find("STIL 1.0;"), std::string::npos);
+  EXPECT_NE(stil.find("Signals {"), std::string::npos);
+  EXPECT_NE(stil.find("ScanStructures {"), std::string::npos);
+  EXPECT_NE(stil.find("ScanChain \"chain0\""), std::string::npos);
+  EXPECT_NE(stil.find("ScanChain \"chain1\""), std::string::npos);
+  EXPECT_NE(stil.find("ScanLength 3;"), std::string::npos);
+  EXPECT_NE(stil.find("Procedures {"), std::string::npos);
+  EXPECT_NE(stil.find("\"load_unload\""), std::string::npos);
+  EXPECT_NE(stil.find("Pattern \"p0\""), std::string::npos);
+  EXPECT_NE(stil.find("Pattern \"p2\""), std::string::npos);
+  EXPECT_EQ(stil.find("Pattern \"p3\""), std::string::npos);
+}
+
+TEST(Stil, ScanInStreamIsReversedChainOrder) {
+  // One chain of 3 cells with a known load: the si stream must present the
+  // last cell's bit first.
+  const Netlist nl = circuits::make_shift_register(3);
+  const ScanPlan plan = plan_scan_chains(nl, 1);
+  TestCube cube(4);  // 1 PI + 3 cells
+  cube.bits = {Val3::kZero, Val3::kOne, Val3::kZero, Val3::kZero};
+  // cells q[0], q[1], q[2] load 1, 0, 0 -> si stream "001".
+  const std::string stil = write_stil_string(nl, plan, {cube});
+  EXPECT_NE(stil.find("\"test_si0\" = 001;"), std::string::npos) << stil;
+}
+
+TEST(Stil, ExpectedResponsesMatchSimulator) {
+  const Netlist nl = circuits::make_counter(4);
+  const ScanPlan plan = plan_scan_chains(nl, 1);
+  TestCube cube(5);
+  cube.bits = {Val3::kOne, Val3::kOne, Val3::kZero, Val3::kOne, Val3::kZero};
+  const std::string stil = write_stil_string(nl, plan, {cube});
+
+  // Compute expected captured values independently.
+  std::vector<TestCube> v{cube};
+  ParallelSimulator sim(nl);
+  sim.simulate(pack_patterns(v, 0, 1));
+  std::string expect_unload;
+  const auto& cells = plan.chains[0].cells;
+  for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+    expect_unload += (sim.next_state(*it) & 1) ? 'H' : 'L';
+  }
+  EXPECT_NE(stil.find("\"test_so0\" = " + expect_unload + ";"),
+            std::string::npos)
+      << stil;
+}
+
+TEST(Stil, XBitsEmittedAsN) {
+  const Netlist nl = circuits::make_counter(4);
+  const ScanPlan plan = plan_scan_chains(nl, 1);
+  TestCube cube(5);  // all X
+  const std::string stil = write_stil_string(nl, plan, {cube});
+  EXPECT_NE(stil.find("\"test_si0\" = NNNN;"), std::string::npos) << stil;
+}
+
+TEST(Stil, RejectsWrongWidth) {
+  const Netlist nl = circuits::make_counter(4);
+  const ScanPlan plan = plan_scan_chains(nl, 1);
+  EXPECT_THROW(write_stil_string(nl, plan, {TestCube(3)}), Error);
+}
+
+}  // namespace
+}  // namespace aidft

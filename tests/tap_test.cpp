@@ -1,0 +1,135 @@
+#include "scan/tap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "fsim/fault_sim.hpp"
+#include "sim/event_sim.hpp"
+
+namespace aidft {
+namespace {
+
+TapState read_state(const EventSimulator& sim, const TapController& tap) {
+  int v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<int>(sim.value(tap.state_bits[b]) & 1) << b;
+  }
+  return static_cast<TapState>(v);
+}
+
+void load_state(EventSimulator& sim, const TapController& tap, TapState s) {
+  for (int b = 0; b < 4; ++b) {
+    sim.set_state(tap.state_bits[b],
+                  ((static_cast<int>(s) >> b) & 1) ? ~0ull : 0);
+  }
+  sim.settle();
+}
+
+void step(EventSimulator& sim, const TapController& tap, bool tms) {
+  sim.set_input(tap.tms, tms ? ~0ull : 0);
+  sim.clock();
+}
+
+TEST(Tap, NetlistMatchesReferenceTableExhaustively) {
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  for (int s = 0; s < 16; ++s) {
+    for (bool tms : {false, true}) {
+      load_state(sim, tap, static_cast<TapState>(s));
+      step(sim, tap, tms);
+      EXPECT_EQ(read_state(sim, tap),
+                tap_next_state(static_cast<TapState>(s), tms))
+          << "state " << s << " tms " << tms;
+    }
+  }
+}
+
+TEST(Tap, FiveOnesResetFromAnyState) {
+  // The defining TAP property: five consecutive TMS=1 clocks reach
+  // Test-Logic-Reset from every state.
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  for (int s = 0; s < 16; ++s) {
+    load_state(sim, tap, static_cast<TapState>(s));
+    for (int i = 0; i < 5; ++i) step(sim, tap, true);
+    EXPECT_EQ(read_state(sim, tap), TapState::kTestLogicReset) << "from " << s;
+    EXPECT_EQ(sim.value(tap.o_reset) & 1, 1u);
+  }
+}
+
+TEST(Tap, StandardDrScanWalk) {
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  load_state(sim, tap, TapState::kTestLogicReset);
+
+  step(sim, tap, false);  // -> Run-Test/Idle
+  EXPECT_EQ(read_state(sim, tap), TapState::kRunTestIdle);
+  step(sim, tap, true);   // -> Select-DR
+  step(sim, tap, false);  // -> Capture-DR
+  EXPECT_EQ(read_state(sim, tap), TapState::kCaptureDr);
+  EXPECT_EQ(sim.value(tap.o_capture_dr) & 1, 1u);
+  step(sim, tap, false);  // -> Shift-DR
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(read_state(sim, tap), TapState::kShiftDr) << "shift beat " << i;
+    EXPECT_EQ(sim.value(tap.o_shift_dr) & 1, 1u);
+    step(sim, tap, false);  // stay shifting
+  }
+  step(sim, tap, true);  // -> Exit1-DR
+  EXPECT_EQ(read_state(sim, tap), TapState::kExit1Dr);
+  step(sim, tap, true);  // -> Update-DR
+  EXPECT_EQ(read_state(sim, tap), TapState::kUpdateDr);
+  EXPECT_EQ(sim.value(tap.o_update_dr) & 1, 1u);
+  step(sim, tap, false);  // -> Run-Test/Idle
+  EXPECT_EQ(read_state(sim, tap), TapState::kRunTestIdle);
+}
+
+TEST(Tap, IrPathAndPauseLoops) {
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  load_state(sim, tap, TapState::kRunTestIdle);
+  step(sim, tap, true);   // Select-DR
+  step(sim, tap, true);   // Select-IR
+  EXPECT_EQ(read_state(sim, tap), TapState::kSelectIr);
+  step(sim, tap, false);  // Capture-IR
+  step(sim, tap, false);  // Shift-IR
+  EXPECT_EQ(sim.value(tap.o_shift_ir) & 1, 1u);
+  step(sim, tap, true);   // Exit1-IR
+  step(sim, tap, false);  // Pause-IR
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(read_state(sim, tap), TapState::kPauseIr);
+    step(sim, tap, false);  // loop in pause
+  }
+  step(sim, tap, true);  // Exit2-IR
+  step(sim, tap, true);  // Update-IR
+  EXPECT_EQ(read_state(sim, tap), TapState::kUpdateIr);
+  EXPECT_EQ(sim.value(tap.o_update_ir) & 1, 1u);
+}
+
+TEST(Tap, DecodeOutputsAreOneHotPerState) {
+  const TapController tap = make_tap_controller();
+  EventSimulator sim(tap.netlist);
+  const GateId outs[] = {tap.o_reset,    tap.o_shift_dr, tap.o_capture_dr,
+                         tap.o_update_dr, tap.o_shift_ir, tap.o_update_ir};
+  for (int s = 0; s < 16; ++s) {
+    load_state(sim, tap, static_cast<TapState>(s));
+    int active = 0;
+    for (GateId o : outs) active += static_cast<int>(sim.value(o) & 1);
+    EXPECT_LE(active, 1) << "state " << s;
+  }
+}
+
+TEST(Tap, ControllerIsFullyScanTestable) {
+  // The TAP controller itself goes through the same DFT flow as everything
+  // else: with its 4 state flops scanned, random patterns cover it fully.
+  const TapController tap = make_tap_controller();
+  const auto faults =
+      collapse_equivalent(tap.netlist, generate_stuck_at_faults(tap.netlist));
+  Rng rng(3);
+  const auto patterns =
+      random_patterns(tap.netlist.combinational_inputs().size(), 256, rng);
+  const CampaignResult r = run_fault_campaign(tap.netlist, faults, patterns);
+  EXPECT_GT(r.coverage(), 0.95);
+}
+
+}  // namespace
+}  // namespace aidft

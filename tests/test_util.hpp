@@ -1,0 +1,89 @@
+// Shared helpers for the aidft test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft::test {
+
+/// Builds a fully specified cube from integer-encoded fields. Each (name,
+/// value, width) triple sets inputs name[0..width-1] from the bits of value.
+/// Inputs not covered default to 0. Single-bit inputs use the exact name.
+struct FieldSpec {
+  std::string base;
+  std::uint64_t value;
+  std::size_t width;  // 0 = scalar input with exact name `base`
+};
+
+inline TestCube make_cube(const Netlist& nl, const std::vector<FieldSpec>& fields) {
+  const auto inputs = nl.combinational_inputs();
+  TestCube cube(inputs.size());
+  cube.constant_fill(Val3::kZero);
+  auto set_named = [&](const std::string& name, bool v) {
+    const GateId g = nl.find(name);
+    AIDFT_REQUIRE(g != kNoGate, "make_cube: no input named " + name);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i] == g) {
+        cube.bits[i] = v ? Val3::kOne : Val3::kZero;
+        return;
+      }
+    }
+    throw Error("make_cube: " + name + " is not a combinational input");
+  };
+  for (const auto& f : fields) {
+    if (f.width == 0) {
+      set_named(f.base, f.value & 1);
+    } else {
+      for (std::size_t b = 0; b < f.width; ++b) {
+        set_named(f.base + "[" + std::to_string(b) + "]", (f.value >> b) & 1);
+      }
+    }
+  }
+  return cube;
+}
+
+/// Reads an integer field out of the simulated outputs: collects outputs
+/// named base[0..width-1] (these are OUTPUT markers; we read their observed
+/// value) for pattern lane `lane`.
+inline std::uint64_t read_output_field(const ParallelSimulator& sim,
+                                       const std::string& base,
+                                       std::size_t width, std::size_t lane) {
+  const Netlist& nl = sim.netlist();
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < width; ++b) {
+    const GateId g = nl.find(base + "[" + std::to_string(b) + "]");
+    AIDFT_REQUIRE(g != kNoGate, "read_output_field: no output " + base);
+    if ((sim.value(g) >> lane) & 1) v |= (1ull << b);
+  }
+  return v;
+}
+
+/// Reads a scalar named output.
+inline bool read_output_bit(const ParallelSimulator& sim, const std::string& name,
+                            std::size_t lane) {
+  const GateId g = sim.netlist().find(name);
+  AIDFT_REQUIRE(g != kNoGate, "read_output_bit: no output " + name);
+  return (sim.value(g) >> lane) & 1;
+}
+
+/// All 2^n cubes over n inputs (n must be small).
+inline std::vector<TestCube> exhaustive_patterns(std::size_t ninputs) {
+  AIDFT_REQUIRE(ninputs <= 20, "exhaustive_patterns: too many inputs");
+  std::vector<TestCube> v;
+  v.reserve(std::size_t{1} << ninputs);
+  for (std::uint64_t m = 0; m < (1ull << ninputs); ++m) {
+    TestCube c(ninputs);
+    for (std::size_t i = 0; i < ninputs; ++i) {
+      c.bits[i] = ((m >> i) & 1) ? Val3::kOne : Val3::kZero;
+    }
+    v.push_back(std::move(c));
+  }
+  return v;
+}
+
+}  // namespace aidft::test

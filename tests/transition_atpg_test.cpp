@@ -1,0 +1,123 @@
+#include "atpg/transition_atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hpp"
+#include "fsim/fault_sim.hpp"
+#include "sim/val3_sim.hpp"
+
+namespace aidft {
+namespace {
+
+TEST(Justify, FindsCubeAndProvesImpossible) {
+  // y = a AND b: y=1 needs a=b=1; NOT(a)=1 with a forced 1 is impossible.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId y = nl.add_gate(GateType::kAnd, {a, b}, "y");
+  const GateId na = nl.add_gate(GateType::kNot, {a}, "na");
+  const GateId z = nl.add_gate(GateType::kAnd, {y, na}, "z");  // always 0
+  nl.add_output(z, "o");
+  nl.finalize();
+  Podem podem(nl);
+  const AtpgOutcome ok = podem.justify(y, Val3::kOne);
+  ASSERT_EQ(ok.status, AtpgStatus::kDetected);
+  EXPECT_EQ(ok.cube.bits[0], Val3::kOne);
+  EXPECT_EQ(ok.cube.bits[1], Val3::kOne);
+  const AtpgOutcome impossible = podem.justify(z, Val3::kOne);
+  EXPECT_EQ(impossible.status, AtpgStatus::kUntestable);
+}
+
+TEST(Justify, CubeActuallyJustifiesOnRandomLogic) {
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    const Netlist nl = circuits::make_random_logic(8, 120, seed);
+    Podem podem(nl);
+    Val3Simulator sim(nl);
+    std::size_t tried = 0;
+    for (GateId g = 0; g < nl.num_gates() && tried < 20; ++g) {
+      if (nl.type(g) == GateType::kOutput) continue;
+      for (Val3 v : {Val3::kZero, Val3::kOne}) {
+        const AtpgOutcome out = podem.justify(g, v);
+        if (out.status != AtpgStatus::kDetected) continue;
+        ++tried;
+        sim.simulate(out.cube);
+        EXPECT_EQ(sim.value(g), v) << "gate " << g << " seed " << seed;
+      }
+    }
+    EXPECT_GT(tried, 0u);
+  }
+}
+
+class TransitionAtpgOnCircuit : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TransitionAtpgOnCircuit, PairsDetectTheirFaults) {
+  Netlist nl;
+  const std::string which = GetParam();
+  for (auto& nc : circuits::standard_suite()) {
+    if (which == nc.name) nl = std::move(nc.netlist);
+  }
+  ASSERT_TRUE(nl.finalized());
+  const auto faults = generate_transition_faults(nl);
+  const TransitionAtpgResult result = generate_transition_tests(nl, faults);
+  EXPECT_EQ(result.aborted, 0u) << which;
+  EXPECT_EQ(result.patterns.size() % 2, 0u);
+  // The result's statuses are an authoritative regrade: verify against an
+  // independent campaign run.
+  const CampaignResult check = run_fault_campaign(nl, faults, result.patterns);
+  std::size_t detected_check = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (check.first_detected_by[i] >= 0) ++detected_check;
+  }
+  EXPECT_EQ(result.detected, detected_check) << which;
+  EXPECT_DOUBLE_EQ(result.test_coverage(), 1.0) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, TransitionAtpgOnCircuit,
+                         ::testing::Values("c17", "rca8", "mul4", "alu8",
+                                           "cmp8", "muxtree4", "cnt8"));
+
+TEST(TransitionAtpg, PatternsAreFullySpecifiedPairs) {
+  const Netlist nl = circuits::make_ripple_adder(4);
+  const auto faults = generate_transition_faults(nl);
+  const TransitionAtpgResult r = generate_transition_tests(nl, faults);
+  for (const auto& p : r.patterns) {
+    EXPECT_EQ(p.care_count(), p.size());
+  }
+  EXPECT_GT(r.detected, 0u);
+}
+
+TEST(TransitionAtpg, ConstantLineIsUntestable) {
+  // z = AND(y, NOT a) with y = AND(a, b): z is constant 0 — no transition
+  // can ever occur on it.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId y = nl.add_gate(GateType::kAnd, {a, b}, "y");
+  const GateId na = nl.add_gate(GateType::kNot, {a}, "na");
+  const GateId z = nl.add_gate(GateType::kAnd, {y, na}, "z");
+  nl.add_output(z, "o");
+  nl.finalize();
+  std::vector<Fault> faults{
+      Fault{z, kStemPin, 1, FaultKind::kTransition},  // slow-to-rise on z
+      Fault{z, kStemPin, 0, FaultKind::kTransition},  // slow-to-fall on z
+  };
+  const TransitionAtpgResult r = generate_transition_tests(nl, faults);
+  EXPECT_EQ(r.untestable, 2u);
+  EXPECT_EQ(r.detected, 0u);
+}
+
+TEST(TransitionAtpg, BeatsRandomPairsOnRpResistantLogic) {
+  const Netlist nl = circuits::make_rp_resistant(2, 12);
+  const auto faults = generate_transition_faults(nl);
+  const TransitionAtpgResult det = generate_transition_tests(nl, faults);
+  EXPECT_DOUBLE_EQ(det.test_coverage(), 1.0);
+
+  Rng rng(3);
+  const auto random =
+      random_patterns(nl.combinational_inputs().size(), 1024, rng);
+  const CampaignResult rand_r = run_fault_campaign(nl, faults, random);
+  EXPECT_LT(rand_r.coverage(), det.fault_coverage());
+}
+
+}  // namespace
+}  // namespace aidft
