@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dnn_faults.dir/bench_e10_dnn_faults.cpp.o"
+  "CMakeFiles/bench_e10_dnn_faults.dir/bench_e10_dnn_faults.cpp.o.d"
+  "bench_e10_dnn_faults"
+  "bench_e10_dnn_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dnn_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_scan_tradeoff.dir/bench_e11_scan_tradeoff.cpp.o"
+  "CMakeFiles/bench_e11_scan_tradeoff.dir/bench_e11_scan_tradeoff.cpp.o.d"
+  "bench_e11_scan_tradeoff"
+  "bench_e11_scan_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_scan_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

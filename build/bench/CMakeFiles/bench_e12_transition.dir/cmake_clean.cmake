@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_transition.dir/bench_e12_transition.cpp.o"
+  "CMakeFiles/bench_e12_transition.dir/bench_e12_transition.cpp.o.d"
+  "bench_e12_transition"
+  "bench_e12_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

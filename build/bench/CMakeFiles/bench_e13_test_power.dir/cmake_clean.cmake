@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_test_power.dir/bench_e13_test_power.cpp.o"
+  "CMakeFiles/bench_e13_test_power.dir/bench_e13_test_power.cpp.o.d"
+  "bench_e13_test_power"
+  "bench_e13_test_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_test_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_bridging.dir/bench_e14_bridging.cpp.o"
+  "CMakeFiles/bench_e14_bridging.dir/bench_e14_bridging.cpp.o.d"
+  "bench_e14_bridging"
+  "bench_e14_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_why_scan.dir/bench_e15_why_scan.cpp.o"
+  "CMakeFiles/bench_e15_why_scan.dir/bench_e15_why_scan.cpp.o.d"
+  "bench_e15_why_scan"
+  "bench_e15_why_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_why_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

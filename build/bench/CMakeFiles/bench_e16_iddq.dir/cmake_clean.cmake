@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_iddq.dir/bench_e16_iddq.cpp.o"
+  "CMakeFiles/bench_e16_iddq.dir/bench_e16_iddq.cpp.o.d"
+  "bench_e16_iddq"
+  "bench_e16_iddq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_iddq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

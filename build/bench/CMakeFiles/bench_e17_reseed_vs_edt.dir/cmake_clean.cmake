@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_reseed_vs_edt.dir/bench_e17_reseed_vs_edt.cpp.o"
+  "CMakeFiles/bench_e17_reseed_vs_edt.dir/bench_e17_reseed_vs_edt.cpp.o.d"
+  "bench_e17_reseed_vs_edt"
+  "bench_e17_reseed_vs_edt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_reseed_vs_edt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_atpg_engines.dir/bench_e2_atpg_engines.cpp.o"
+  "CMakeFiles/bench_e2_atpg_engines.dir/bench_e2_atpg_engines.cpp.o.d"
+  "bench_e2_atpg_engines"
+  "bench_e2_atpg_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_atpg_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e2_atpg_engines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_fsim_speedup.dir/bench_e3_fsim_speedup.cpp.o"
+  "CMakeFiles/bench_e3_fsim_speedup.dir/bench_e3_fsim_speedup.cpp.o.d"
+  "bench_e3_fsim_speedup"
+  "bench_e3_fsim_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_fsim_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_lbist.dir/bench_e5_lbist.cpp.o"
+  "CMakeFiles/bench_e5_lbist.dir/bench_e5_lbist.cpp.o.d"
+  "bench_e5_lbist"
+  "bench_e5_lbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_lbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

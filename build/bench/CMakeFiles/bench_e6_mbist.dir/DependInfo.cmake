@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_mbist.cpp" "bench/CMakeFiles/bench_e6_mbist.dir/bench_e6_mbist.cpp.o" "gcc" "bench/CMakeFiles/bench_e6_mbist.dir/bench_e6_mbist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bist/CMakeFiles/aidft_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/aidft_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/aidft_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/aidft_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/aidft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aidft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_mbist.dir/bench_e6_mbist.cpp.o"
+  "CMakeFiles/bench_e6_mbist.dir/bench_e6_mbist.cpp.o.d"
+  "bench_e6_mbist"
+  "bench_e6_mbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_mbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

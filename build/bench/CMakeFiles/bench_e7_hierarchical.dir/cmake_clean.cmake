@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_hierarchical.dir/bench_e7_hierarchical.cpp.o"
+  "CMakeFiles/bench_e7_hierarchical.dir/bench_e7_hierarchical.cpp.o.d"
+  "bench_e7_hierarchical"
+  "bench_e7_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

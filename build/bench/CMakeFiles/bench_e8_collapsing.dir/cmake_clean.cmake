@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_collapsing.dir/bench_e8_collapsing.cpp.o"
+  "CMakeFiles/bench_e8_collapsing.dir/bench_e8_collapsing.cpp.o.d"
+  "bench_e8_collapsing"
+  "bench_e8_collapsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_collapsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

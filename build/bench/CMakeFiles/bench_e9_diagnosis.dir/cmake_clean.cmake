@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_diagnosis.dir/bench_e9_diagnosis.cpp.o"
+  "CMakeFiles/bench_e9_diagnosis.dir/bench_e9_diagnosis.cpp.o.d"
+  "bench_e9_diagnosis"
+  "bench_e9_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_chip_signoff.dir/ai_chip_signoff.cpp.o"
+  "CMakeFiles/ai_chip_signoff.dir/ai_chip_signoff.cpp.o.d"
+  "ai_chip_signoff"
+  "ai_chip_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_chip_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

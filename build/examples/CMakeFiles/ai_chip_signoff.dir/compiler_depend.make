@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ai_chip_signoff.
+# This may be replaced when dependencies are built.

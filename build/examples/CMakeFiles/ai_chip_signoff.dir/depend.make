@@ -1,0 +1,2 @@
+# Empty dependencies file for ai_chip_signoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_atpg.dir/bench_file_atpg.cpp.o"
+  "CMakeFiles/bench_file_atpg.dir/bench_file_atpg.cpp.o.d"
+  "bench_file_atpg"
+  "bench_file_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_defect.dir/diagnose_defect.cpp.o"
+  "CMakeFiles/diagnose_defect.dir/diagnose_defect.cpp.o.d"
+  "diagnose_defect"
+  "diagnose_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

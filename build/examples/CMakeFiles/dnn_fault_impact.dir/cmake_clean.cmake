@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_fault_impact.dir/dnn_fault_impact.cpp.o"
+  "CMakeFiles/dnn_fault_impact.dir/dnn_fault_impact.cpp.o.d"
+  "dnn_fault_impact"
+  "dnn_fault_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_fault_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

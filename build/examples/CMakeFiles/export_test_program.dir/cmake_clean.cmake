@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_test_program.dir/export_test_program.cpp.o"
+  "CMakeFiles/export_test_program.dir/export_test_program.cpp.o.d"
+  "export_test_program"
+  "export_test_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

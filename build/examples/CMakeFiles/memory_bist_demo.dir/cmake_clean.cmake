@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bist_demo.dir/memory_bist_demo.cpp.o"
+  "CMakeFiles/memory_bist_demo.dir/memory_bist_demo.cpp.o.d"
+  "memory_bist_demo"
+  "memory_bist_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bist_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

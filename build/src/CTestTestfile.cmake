@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netlist")
+subdirs("bench_circuits")
+subdirs("sim")
+subdirs("fault")
+subdirs("fsim")
+subdirs("sat")
+subdirs("atpg")
+subdirs("scan")
+subdirs("compress")
+subdirs("bist")
+subdirs("diag")
+subdirs("aichip")
+subdirs("dnn")
+subdirs("core")

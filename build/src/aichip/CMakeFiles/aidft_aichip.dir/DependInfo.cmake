@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aichip/soc.cpp" "src/aichip/CMakeFiles/aidft_aichip.dir/soc.cpp.o" "gcc" "src/aichip/CMakeFiles/aidft_aichip.dir/soc.cpp.o.d"
+  "/root/repo/src/aichip/systolic.cpp" "src/aichip/CMakeFiles/aidft_aichip.dir/systolic.cpp.o" "gcc" "src/aichip/CMakeFiles/aidft_aichip.dir/systolic.cpp.o.d"
+  "/root/repo/src/aichip/test_time.cpp" "src/aichip/CMakeFiles/aidft_aichip.dir/test_time.cpp.o" "gcc" "src/aichip/CMakeFiles/aidft_aichip.dir/test_time.cpp.o.d"
+  "/root/repo/src/aichip/wrapper.cpp" "src/aichip/CMakeFiles/aidft_aichip.dir/wrapper.cpp.o" "gcc" "src/aichip/CMakeFiles/aidft_aichip.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aidft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_aichip.dir/soc.cpp.o"
+  "CMakeFiles/aidft_aichip.dir/soc.cpp.o.d"
+  "CMakeFiles/aidft_aichip.dir/systolic.cpp.o"
+  "CMakeFiles/aidft_aichip.dir/systolic.cpp.o.d"
+  "CMakeFiles/aidft_aichip.dir/test_time.cpp.o"
+  "CMakeFiles/aidft_aichip.dir/test_time.cpp.o.d"
+  "CMakeFiles/aidft_aichip.dir/wrapper.cpp.o"
+  "CMakeFiles/aidft_aichip.dir/wrapper.cpp.o.d"
+  "libaidft_aichip.a"
+  "libaidft_aichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_aichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaidft_aichip.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/atpg.cpp" "src/atpg/CMakeFiles/aidft_atpg.dir/atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/aidft_atpg.dir/atpg.cpp.o.d"
+  "/root/repo/src/atpg/compaction.cpp" "src/atpg/CMakeFiles/aidft_atpg.dir/compaction.cpp.o" "gcc" "src/atpg/CMakeFiles/aidft_atpg.dir/compaction.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/aidft_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/aidft_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/sat_atpg.cpp" "src/atpg/CMakeFiles/aidft_atpg.dir/sat_atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/aidft_atpg.dir/sat_atpg.cpp.o.d"
+  "/root/repo/src/atpg/transition_atpg.cpp" "src/atpg/CMakeFiles/aidft_atpg.dir/transition_atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/aidft_atpg.dir/transition_atpg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsim/CMakeFiles/aidft_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/aidft_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/aidft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aidft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/aidft_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/aidft_atpg.dir/compaction.cpp.o"
+  "CMakeFiles/aidft_atpg.dir/compaction.cpp.o.d"
+  "CMakeFiles/aidft_atpg.dir/podem.cpp.o"
+  "CMakeFiles/aidft_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/aidft_atpg.dir/sat_atpg.cpp.o"
+  "CMakeFiles/aidft_atpg.dir/sat_atpg.cpp.o.d"
+  "CMakeFiles/aidft_atpg.dir/transition_atpg.cpp.o"
+  "CMakeFiles/aidft_atpg.dir/transition_atpg.cpp.o.d"
+  "libaidft_atpg.a"
+  "libaidft_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_circuits/arith.cpp" "src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/arith.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/arith.cpp.o.d"
+  "/root/repo/src/bench_circuits/generators.cpp" "src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/generators.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_bench_circuits.dir/arith.cpp.o"
+  "CMakeFiles/aidft_bench_circuits.dir/arith.cpp.o.d"
+  "CMakeFiles/aidft_bench_circuits.dir/generators.cpp.o"
+  "CMakeFiles/aidft_bench_circuits.dir/generators.cpp.o.d"
+  "libaidft_bench_circuits.a"
+  "libaidft_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaidft_bench_circuits.a"
+)

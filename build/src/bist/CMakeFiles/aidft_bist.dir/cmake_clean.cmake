@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_bist.dir/lbist.cpp.o"
+  "CMakeFiles/aidft_bist.dir/lbist.cpp.o.d"
+  "CMakeFiles/aidft_bist.dir/mbist.cpp.o"
+  "CMakeFiles/aidft_bist.dir/mbist.cpp.o.d"
+  "CMakeFiles/aidft_bist.dir/test_points.cpp.o"
+  "CMakeFiles/aidft_bist.dir/test_points.cpp.o.d"
+  "libaidft_bist.a"
+  "libaidft_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

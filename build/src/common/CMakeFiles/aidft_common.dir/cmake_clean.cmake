@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_common.dir/error.cpp.o"
+  "CMakeFiles/aidft_common.dir/error.cpp.o.d"
+  "libaidft_common.a"
+  "libaidft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_compress.dir/edt.cpp.o"
+  "CMakeFiles/aidft_compress.dir/edt.cpp.o.d"
+  "CMakeFiles/aidft_compress.dir/reseed.cpp.o"
+  "CMakeFiles/aidft_compress.dir/reseed.cpp.o.d"
+  "CMakeFiles/aidft_compress.dir/session.cpp.o"
+  "CMakeFiles/aidft_compress.dir/session.cpp.o.d"
+  "libaidft_compress.a"
+  "libaidft_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

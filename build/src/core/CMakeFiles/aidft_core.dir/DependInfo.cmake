@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chip_flow.cpp" "src/core/CMakeFiles/aidft_core.dir/chip_flow.cpp.o" "gcc" "src/core/CMakeFiles/aidft_core.dir/chip_flow.cpp.o.d"
+  "/root/repo/src/core/dft_flow.cpp" "src/core/CMakeFiles/aidft_core.dir/dft_flow.cpp.o" "gcc" "src/core/CMakeFiles/aidft_core.dir/dft_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/aidft_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/aidft_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/aidft_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/aidft_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/aichip/CMakeFiles/aidft_aichip.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/aidft_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/aidft_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/aidft_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/aidft_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/aidft_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aidft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/aidft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_core.dir/chip_flow.cpp.o"
+  "CMakeFiles/aidft_core.dir/chip_flow.cpp.o.d"
+  "CMakeFiles/aidft_core.dir/dft_flow.cpp.o"
+  "CMakeFiles/aidft_core.dir/dft_flow.cpp.o.d"
+  "libaidft_core.a"
+  "libaidft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

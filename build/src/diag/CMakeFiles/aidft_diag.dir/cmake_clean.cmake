@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_diag.dir/diagnosis.cpp.o"
+  "CMakeFiles/aidft_diag.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/aidft_diag.dir/dictionary.cpp.o"
+  "CMakeFiles/aidft_diag.dir/dictionary.cpp.o.d"
+  "libaidft_diag.a"
+  "libaidft_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

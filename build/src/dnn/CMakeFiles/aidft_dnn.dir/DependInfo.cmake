@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/mlp.cpp" "src/dnn/CMakeFiles/aidft_dnn.dir/mlp.cpp.o" "gcc" "src/dnn/CMakeFiles/aidft_dnn.dir/mlp.cpp.o.d"
+  "/root/repo/src/dnn/quant.cpp" "src/dnn/CMakeFiles/aidft_dnn.dir/quant.cpp.o" "gcc" "src/dnn/CMakeFiles/aidft_dnn.dir/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_dnn.dir/mlp.cpp.o"
+  "CMakeFiles/aidft_dnn.dir/mlp.cpp.o.d"
+  "CMakeFiles/aidft_dnn.dir/quant.cpp.o"
+  "CMakeFiles/aidft_dnn.dir/quant.cpp.o.d"
+  "libaidft_dnn.a"
+  "libaidft_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

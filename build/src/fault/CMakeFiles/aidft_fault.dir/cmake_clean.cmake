@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_fault.dir/bridging.cpp.o"
+  "CMakeFiles/aidft_fault.dir/bridging.cpp.o.d"
+  "CMakeFiles/aidft_fault.dir/fault.cpp.o"
+  "CMakeFiles/aidft_fault.dir/fault.cpp.o.d"
+  "libaidft_fault.a"
+  "libaidft_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

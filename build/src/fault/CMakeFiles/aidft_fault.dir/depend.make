@@ -1,0 +1,2 @@
+# Empty dependencies file for aidft_fault.
+# This may be replaced when dependencies are built.

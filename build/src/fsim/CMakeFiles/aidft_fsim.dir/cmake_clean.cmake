@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_fsim.dir/fault_sim.cpp.o"
+  "CMakeFiles/aidft_fsim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/aidft_fsim.dir/seq_fsim.cpp.o"
+  "CMakeFiles/aidft_fsim.dir/seq_fsim.cpp.o.d"
+  "libaidft_fsim.a"
+  "libaidft_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/aidft_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/aidft_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/aidft_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/aidft_netlist.dir/scoap.cpp.o"
+  "CMakeFiles/aidft_netlist.dir/scoap.cpp.o.d"
+  "CMakeFiles/aidft_netlist.dir/stats.cpp.o"
+  "CMakeFiles/aidft_netlist.dir/stats.cpp.o.d"
+  "libaidft_netlist.a"
+  "libaidft_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_sat.dir/cnf.cpp.o"
+  "CMakeFiles/aidft_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/aidft_sat.dir/solver.cpp.o"
+  "CMakeFiles/aidft_sat.dir/solver.cpp.o.d"
+  "libaidft_sat.a"
+  "libaidft_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/power.cpp" "src/scan/CMakeFiles/aidft_scan.dir/power.cpp.o" "gcc" "src/scan/CMakeFiles/aidft_scan.dir/power.cpp.o.d"
+  "/root/repo/src/scan/scan.cpp" "src/scan/CMakeFiles/aidft_scan.dir/scan.cpp.o" "gcc" "src/scan/CMakeFiles/aidft_scan.dir/scan.cpp.o.d"
+  "/root/repo/src/scan/stil_io.cpp" "src/scan/CMakeFiles/aidft_scan.dir/stil_io.cpp.o" "gcc" "src/scan/CMakeFiles/aidft_scan.dir/stil_io.cpp.o.d"
+  "/root/repo/src/scan/tap.cpp" "src/scan/CMakeFiles/aidft_scan.dir/tap.cpp.o" "gcc" "src/scan/CMakeFiles/aidft_scan.dir/tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aidft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aidft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aidft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

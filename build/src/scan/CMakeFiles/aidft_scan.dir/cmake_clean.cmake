@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_scan.dir/power.cpp.o"
+  "CMakeFiles/aidft_scan.dir/power.cpp.o.d"
+  "CMakeFiles/aidft_scan.dir/scan.cpp.o"
+  "CMakeFiles/aidft_scan.dir/scan.cpp.o.d"
+  "CMakeFiles/aidft_scan.dir/stil_io.cpp.o"
+  "CMakeFiles/aidft_scan.dir/stil_io.cpp.o.d"
+  "CMakeFiles/aidft_scan.dir/tap.cpp.o"
+  "CMakeFiles/aidft_scan.dir/tap.cpp.o.d"
+  "libaidft_scan.a"
+  "libaidft_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidft_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/aidft_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/aidft_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/aidft_sim.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/aidft_sim.dir/val3_sim.cpp.o"
+  "CMakeFiles/aidft_sim.dir/val3_sim.cpp.o.d"
+  "libaidft_sim.a"
+  "libaidft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aichip_test.dir/aichip_test.cpp.o"
+  "CMakeFiles/aichip_test.dir/aichip_test.cpp.o.d"
+  "aichip_test"
+  "aichip_test.pdb"
+  "aichip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aichip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_test.dir/atpg_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg_test.cpp.o.d"
+  "atpg_test"
+  "atpg_test.pdb"
+  "atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridging_test.dir/bridging_test.cpp.o"
+  "CMakeFiles/bridging_test.dir/bridging_test.cpp.o.d"
+  "bridging_test"
+  "bridging_test.pdb"
+  "bridging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

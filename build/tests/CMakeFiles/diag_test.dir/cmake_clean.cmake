@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_test.dir/diag_test.cpp.o"
+  "CMakeFiles/diag_test.dir/diag_test.cpp.o.d"
+  "diag_test"
+  "diag_test.pdb"
+  "diag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

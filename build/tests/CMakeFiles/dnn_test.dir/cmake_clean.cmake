@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_test.dir/dnn_test.cpp.o"
+  "CMakeFiles/dnn_test.dir/dnn_test.cpp.o.d"
+  "dnn_test"
+  "dnn_test.pdb"
+  "dnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

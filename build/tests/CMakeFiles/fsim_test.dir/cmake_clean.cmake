@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_test.dir/fsim_test.cpp.o"
+  "CMakeFiles/fsim_test.dir/fsim_test.cpp.o.d"
+  "fsim_test"
+  "fsim_test.pdb"
+  "fsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

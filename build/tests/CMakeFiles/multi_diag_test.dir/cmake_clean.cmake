@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_diag_test.dir/multi_diag_test.cpp.o"
+  "CMakeFiles/multi_diag_test.dir/multi_diag_test.cpp.o.d"
+  "multi_diag_test"
+  "multi_diag_test.pdb"
+  "multi_diag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_diag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reseed_test.dir/reseed_test.cpp.o"
+  "CMakeFiles/reseed_test.dir/reseed_test.cpp.o.d"
+  "reseed_test"
+  "reseed_test.pdb"
+  "reseed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reseed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

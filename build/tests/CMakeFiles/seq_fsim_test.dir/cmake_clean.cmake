@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_fsim_test.dir/seq_fsim_test.cpp.o"
+  "CMakeFiles/seq_fsim_test.dir/seq_fsim_test.cpp.o.d"
+  "seq_fsim_test"
+  "seq_fsim_test.pdb"
+  "seq_fsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_fsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_compare_test.dir/soc_compare_test.cpp.o"
+  "CMakeFiles/soc_compare_test.dir/soc_compare_test.cpp.o.d"
+  "soc_compare_test"
+  "soc_compare_test.pdb"
+  "soc_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

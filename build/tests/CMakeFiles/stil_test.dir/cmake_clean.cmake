@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stil_test.dir/stil_test.cpp.o"
+  "CMakeFiles/stil_test.dir/stil_test.cpp.o.d"
+  "stil_test"
+  "stil_test.pdb"
+  "stil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

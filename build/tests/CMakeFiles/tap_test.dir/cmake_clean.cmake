@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tap_test.dir/tap_test.cpp.o"
+  "CMakeFiles/tap_test.dir/tap_test.cpp.o.d"
+  "tap_test"
+  "tap_test.pdb"
+  "tap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

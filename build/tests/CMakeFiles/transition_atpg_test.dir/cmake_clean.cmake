@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_atpg_test.dir/transition_atpg_test.cpp.o"
+  "CMakeFiles/transition_atpg_test.dir/transition_atpg_test.cpp.o.d"
+  "transition_atpg_test"
+  "transition_atpg_test.pdb"
+  "transition_atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

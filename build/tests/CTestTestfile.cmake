@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/fsim_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/bist_test[1]_include.cmake")
+include("/root/repo/build/tests/diag_test[1]_include.cmake")
+include("/root/repo/build/tests/aichip_test[1]_include.cmake")
+include("/root/repo/build/tests/dnn_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/transition_atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/bridging_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_compare_test[1]_include.cmake")
+include("/root/repo/build/tests/stil_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_fsim_test[1]_include.cmake")
+include("/root/repo/build/tests/reseed_test[1]_include.cmake")
+include("/root/repo/build/tests/tap_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_diag_test[1]_include.cmake")
+include("/root/repo/build/tests/dictionary_test[1]_include.cmake")
