@@ -21,7 +21,7 @@ void e12_random(benchmark::State& state, const std::string& name,
     Rng rng(1);
     const auto patterns =
         random_patterns(nl.combinational_inputs().size(), npatterns, rng);
-    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    const CampaignResult r = run_campaign(nl, faults, patterns);
     coverage = r.coverage();
     benchmark::DoNotOptimize(r.detected);
   }

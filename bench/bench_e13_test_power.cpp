@@ -59,7 +59,7 @@ void e13_fill(benchmark::State& state, const std::string& fill_name,
     const ShiftPowerReport p = shift_power(e.nl, plan, filled);
     wtm = p.avg_wtm_per_pattern;
     peak = p.peak_wtm_pattern;
-    const CampaignResult r = run_fault_campaign(e.nl, e.faults, filled);
+    const CampaignResult r = run_campaign(e.nl, e.faults, filled);
     coverage = r.coverage();
     benchmark::DoNotOptimize(r.detected);
   }

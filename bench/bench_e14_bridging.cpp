@@ -27,7 +27,7 @@ void e14_pattern_source(benchmark::State& state, const std::string& name,
   }
   double coverage = 0;
   for (auto _ : state) {
-    const CampaignResult r = run_bridging_campaign(nl, bridges, patterns);
+    const CampaignResult r = run_campaign(nl, bridges, patterns);
     coverage = r.coverage();
     benchmark::DoNotOptimize(r.detected);
   }

@@ -54,7 +54,7 @@ void e15_scan_random(benchmark::State& state, const std::string& name,
     Rng rng(21);
     const auto patterns =
         random_patterns(nl.combinational_inputs().size(), npatterns, rng);
-    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    const CampaignResult r = run_campaign(nl, faults, patterns);
     coverage = r.coverage();
     benchmark::DoNotOptimize(r.detected);
   }

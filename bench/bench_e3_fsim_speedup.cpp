@@ -7,9 +7,15 @@
 //                     when fault cones are local, e.g. adders; global-cone
 //                     multipliers favour the branch-free full sweep);
 //   ppsfp_dropping  — plus fault dropping: the production configuration,
-//                     fastest everywhere.
+//                     fastest everywhere;
+//   campaign/tN     — the unified run_campaign() engine with N worker
+//                     threads, sweeping N in {1,2,4,8}: reports patterns/sec
+//                     and the wall-clock speedup vs its own serial (t1) run.
 // Throughput counter: fault-pattern grades per second.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -49,7 +55,8 @@ void e3_reference(benchmark::State& state, const std::string& name) {
   const auto patterns =
       random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
   for (auto _ : state) {
-    const CampaignResult r = run_fault_campaign_reference(nl, faults, patterns);
+    const CampaignResult r = run_campaign(nl, faults, patterns,
+                                          {.engine = CampaignEngine::kReference});
     benchmark::DoNotOptimize(r.detected);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -66,7 +73,7 @@ void e3_ppsfp(benchmark::State& state, const std::string& name, bool dropping) {
   double coverage = 0;
   for (auto _ : state) {
     if (dropping) {
-      const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+      const CampaignResult r = run_campaign(nl, faults, patterns);
       coverage = r.coverage();
       benchmark::DoNotOptimize(r.detected);
     } else {
@@ -84,6 +91,52 @@ void e3_ppsfp(benchmark::State& state, const std::string& name, bool dropping) {
                           static_cast<std::int64_t>(faults.size() * kPatterns));
   state.counters["faults"] = static_cast<double>(faults.size());
   if (dropping) state.counters["coverage_pct"] = 100.0 * coverage;
+}
+
+// Serial (t=1) mean campaign seconds per circuit, recorded so the t>1 rows
+// can report speedup. Benchmarks run sequentially on the main thread, and
+// registration order guarantees t=1 runs first.
+std::map<std::string, double>& serial_seconds() {
+  static std::map<std::string, double> s;
+  return s;
+}
+
+void e3_campaign_threads(benchmark::State& state, const std::string& name,
+                         std::size_t threads) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(7);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
+  const CampaignOptions opts{.num_threads = threads};
+  double total_sec = 0.0;
+  std::size_t iters = 0;
+  double coverage = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const CampaignResult r = run_campaign(nl, faults, patterns, opts);
+    total_sec += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    ++iters;
+    coverage = r.coverage();
+    benchmark::DoNotOptimize(r.detected);
+  }
+  const double mean_sec = total_sec / static_cast<double>(iters);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size() * kPatterns));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["coverage_pct"] = 100.0 * coverage;
+  state.counters["patterns_per_sec"] =
+      static_cast<double>(kPatterns) / mean_sec;
+  if (threads == 1) {
+    serial_seconds()[name] = mean_sec;
+    state.counters["speedup_vs_t1"] = 1.0;
+  } else if (const auto it = serial_seconds().find(name);
+             it != serial_seconds().end()) {
+    state.counters["speedup_vs_t1"] = it->second / mean_sec;
+  }
 }
 
 void register_all() {
@@ -105,6 +158,14 @@ void register_all() {
         std::string("E3/ppsfp_dropping/") + name,
         [name](benchmark::State& s) { e3_ppsfp(s, name, true); })
         ->Unit(benchmark::kMillisecond);
+    for (std::size_t threads : {1, 2, 4, 8}) {
+      aidft::bench::reg(
+          std::string("E3/campaign/") + name + "/t" + std::to_string(threads),
+          [name, threads](benchmark::State& s) {
+            e3_campaign_threads(s, name, threads);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
   }
 }
 

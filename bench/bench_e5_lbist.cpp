@@ -22,7 +22,7 @@ void e5_lbist(benchmark::State& state, const std::string& name,
   const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
   LbistResult result;
   for (auto _ : state) {
-    result = run_lbist(nl, faults, npatterns);
+    result = run_lbist(nl, faults, {.patterns = npatterns});
     benchmark::DoNotOptimize(result.detected);
   }
   state.counters["patterns"] = static_cast<double>(npatterns);

@@ -72,7 +72,7 @@ void e7_measured_coverage(benchmark::State& state, std::size_t num_cores) {
       broadcast.push_back(aichip::broadcast_cube(soc, p));
     }
     const CampaignResult r =
-        run_fault_campaign(soc.netlist, soc_faults, broadcast);
+        run_campaign(soc.netlist, soc_faults, broadcast);
     soc_cov = r.coverage();
     core_cov = c.atpg.fault_coverage();
     benchmark::DoNotOptimize(r.detected);

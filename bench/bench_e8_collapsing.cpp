@@ -37,7 +37,7 @@ void e8_fsim_savings(benchmark::State& state, const std::string& name,
   Rng rng(3);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
   for (auto _ : state) {
-    const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+    const CampaignResult r = run_campaign(nl, faults, patterns);
     benchmark::DoNotOptimize(r.detected);
   }
   state.counters["faults"] = static_cast<double>(faults.size());

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   options.num_cores = num_cores;
   options.core_flow.scan_chains = 8;
   options.core_flow.atpg.random_patterns = 64;
-  options.core_flow.lbist_patterns = 256;
+  options.core_flow.lbist.patterns = 256;
   options.tester.channels = 8;
 
   const ChipFlowReport report = run_chip_flow(core, options);

@@ -27,8 +27,8 @@ int main() {
   DftFlowOptions options;
   options.scan_chains = 4;
   options.atpg.random_patterns = 0;  // deterministic cubes feed compression
-  options.lbist_patterns = 512;
-  options.run_transition_atpg = true;  // add the two-vector delay test
+  options.lbist.patterns = 512;
+  options.run_transition = true;  // add the two-vector delay test
   const DftFlowReport report = run_dft_flow(design, options);
   std::printf("%s\n", report.to_string().c_str());
 

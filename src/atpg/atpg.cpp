@@ -50,7 +50,8 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     std::vector<TestCube> random = random_patterns(width, options.random_patterns, rng);
     // Keep only the effective patterns (those that detected something new)
     // in the final set.
-    CampaignResult campaign = run_fault_campaign(nl, faults, random);
+    CampaignResult campaign = run_campaign(nl, faults, random,
+                                           {.num_threads = options.num_threads});
     std::vector<bool> keep(random.size(), false);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       const std::int64_t fd = campaign.first_detected_by[i];

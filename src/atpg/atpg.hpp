@@ -37,6 +37,9 @@ struct AtpgOptions {
   bool dynamic_compaction = true;
   XFill x_fill = XFill::kRandom;
   std::uint64_t seed = 1;
+  /// Fault-campaign workers for the random phase (the bulk grading work);
+  /// the deterministic phase's incremental dropping stays serial.
+  std::size_t num_threads = 1;
 };
 
 enum class FaultStatus : std::uint8_t {

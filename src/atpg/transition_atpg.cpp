@@ -72,7 +72,8 @@ TransitionAtpgResult generate_transition_tests(
       }
     }
     if (alive.empty()) return;
-    const CampaignResult r = run_fault_campaign(nl, alive, result.patterns);
+    const CampaignResult r = run_campaign(nl, alive, result.patterns,
+                                          {.num_threads = options.num_threads});
     for (std::size_t k = 0; k < alive.size(); ++k) {
       if (r.first_detected_by[k] >= 0) {
         result.status[alive_idx[k]] = FaultStatus::kDetected;
@@ -146,7 +147,8 @@ TransitionAtpgResult generate_transition_tests(
       }
     }
     if (!regrade.empty() && !result.patterns.empty()) {
-      const CampaignResult r = run_fault_campaign(nl, regrade, result.patterns);
+      const CampaignResult r = run_campaign(
+          nl, regrade, result.patterns, {.num_threads = options.num_threads});
       for (std::size_t k = 0; k < regrade.size(); ++k) {
         result.status[undecided[k]] = r.first_detected_by[k] >= 0
                                           ? FaultStatus::kDetected

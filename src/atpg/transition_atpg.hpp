@@ -23,6 +23,7 @@ struct TransitionAtpgOptions {
   bool sat_fallback = true;  // resolve PODEM aborts with the SAT engines
   std::int64_t sat_conflict_limit = 200'000;
   std::uint64_t seed = 5;  // X-fill of the emitted pairs
+  std::size_t num_threads = 1;  // fault-campaign workers for (re)grading
 };
 
 struct TransitionAtpgResult {

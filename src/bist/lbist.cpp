@@ -53,19 +53,22 @@ TestCube Prpg::next_pattern() {
 }
 
 LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
-                      std::size_t npatterns, const LbistConfig& config) {
+                      const LbistConfig& config) {
   AIDFT_REQUIRE(nl.finalized(), "run_lbist requires finalized netlist");
   LbistResult result;
-  result.patterns = npatterns;
+  result.patterns = config.patterns;
   result.faults_total = faults.size();
 
   const std::size_t width = nl.combinational_inputs().size();
   Prpg prpg(config, width);
   std::vector<TestCube> patterns;
-  patterns.reserve(npatterns);
-  for (std::size_t i = 0; i < npatterns; ++i) patterns.push_back(prpg.next_pattern());
+  patterns.reserve(config.patterns);
+  for (std::size_t i = 0; i < config.patterns; ++i) {
+    patterns.push_back(prpg.next_pattern());
+  }
 
-  const CampaignResult campaign = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult campaign = run_campaign(
+      nl, faults, patterns, {.num_threads = config.num_threads});
   result.detected = campaign.detected;
   result.detected_after = campaign.detected_after;
 
@@ -90,13 +93,14 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
 }
 
 std::vector<std::uint64_t> faulty_signature(const Netlist& nl, const Fault& fault,
-                                            std::size_t npatterns,
                                             const LbistConfig& config) {
   const std::size_t width = nl.combinational_inputs().size();
   Prpg prpg(config, width);
   std::vector<TestCube> patterns;
-  patterns.reserve(npatterns);
-  for (std::size_t i = 0; i < npatterns; ++i) patterns.push_back(prpg.next_pattern());
+  patterns.reserve(config.patterns);
+  for (std::size_t i = 0; i < config.patterns; ++i) {
+    patterns.push_back(prpg.next_pattern());
+  }
 
   Misr misr(config.misr_bits);
   FaultSimulator fsim(nl);

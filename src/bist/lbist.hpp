@@ -19,9 +19,11 @@
 namespace aidft {
 
 struct LbistConfig {
+  std::size_t patterns = 512;   // session length (PRPG patterns applied)
   std::size_t prpg_bits = 32;
   std::uint64_t seed = 0xB157;  // nonzero PRPG seed
   std::size_t misr_bits = 32;
+  std::size_t num_threads = 1;  // fault-campaign workers for coverage grading
 };
 
 /// Pseudo-random pattern generator: LFSR plus per-position phase-shifter
@@ -56,17 +58,16 @@ struct LbistResult {
   }
 };
 
-/// Runs `npatterns` of LBIST against `faults`, with fault dropping, and
-/// computes the golden signature.
+/// Runs `config.patterns` of LBIST against `faults`, with fault dropping,
+/// and computes the golden signature.
 LbistResult run_lbist(const Netlist& netlist, const std::vector<Fault>& faults,
-                      std::size_t npatterns, const LbistConfig& config = {});
+                      const LbistConfig& config = {});
 
 /// MISR signature of a *defective* machine (single stuck-at `fault`) over
 /// the same session. Detected faults should produce a differing signature
 /// unless MISR aliasing strikes.
 std::vector<std::uint64_t> faulty_signature(const Netlist& netlist,
                                             const Fault& fault,
-                                            std::size_t npatterns,
                                             const LbistConfig& config = {});
 
 }  // namespace aidft

@@ -1,0 +1,145 @@
+// Small reusable worker pool and a chunked parallel_for on top of it.
+//
+// The pool is deliberately minimal: FIFO queue, no futures, no task graph.
+// The primary client is the fault-campaign engine (fsim/campaign.cpp), which
+// needs exactly one shape of parallelism — split an index range into one
+// contiguous chunk per worker and block until every chunk finishes — but the
+// pool is generic so later scaling work (sharded ATPG, parallel diagnosis)
+// can reuse it.
+//
+// Exception contract: the first exception thrown by any chunk is captured
+// and rethrown on the calling thread after all chunks have finished.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aidft {
+
+/// Maps a user-facing thread-count request to a concrete worker count:
+/// 0 means "one per hardware thread" (never less than 1).
+inline std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(std::size_t num_threads = 0) {
+    const std::size_t n = resolve_threads(num_threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not block waiting on later-queued tasks
+  /// (the pool has no work stealing, so that deadlocks).
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      AIDFT_REQUIRE(!stop_, "submit() on a stopping ThreadPool");
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Splits [0, count) into one contiguous chunk per worker and runs
+  /// fn(chunk_index, begin, end) on the pool; blocks until all chunks are
+  /// done. Rethrows the first chunk exception.
+  template <typename Fn>
+  void parallel_for(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    const std::size_t chunks = std::min(size(), count);
+    if (chunks <= 1) {
+      fn(std::size_t{0}, std::size_t{0}, count);
+      return;
+    }
+    struct Join {
+      std::mutex mutex;
+      std::condition_variable done;
+      std::size_t remaining;
+      std::exception_ptr error;
+    } join{{}, {}, chunks, nullptr};
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * count / chunks;
+      const std::size_t end = (c + 1) * count / chunks;
+      submit([&join, &fn, c, begin, end] {
+        try {
+          fn(c, begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(join.mutex);
+          if (!join.error) join.error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(join.mutex);
+        if (--join.remaining == 0) join.done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(join.mutex);
+    join.done.wait(lock, [&join] { return join.remaining == 0; });
+    if (join.error) std::rethrow_exception(join.error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// One-shot helper: chunked parallel_for on a transient pool. `num_threads`
+/// follows resolve_threads(); with one thread (or one item) it runs inline,
+/// with zero thread-creation cost — callers can use it unconditionally.
+template <typename Fn>
+void parallel_for(std::size_t num_threads, std::size_t count, Fn&& fn) {
+  num_threads = resolve_threads(num_threads);
+  if (count == 0) return;
+  if (num_threads <= 1 || count <= 1) {
+    fn(std::size_t{0}, std::size_t{0}, count);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, count));
+  pool.parallel_for(count, std::forward<Fn>(fn));
+}
+
+}  // namespace aidft

@@ -77,7 +77,8 @@ CompressedSessionResult run_compressed_session(
     std::vector<TestCube> baseline = cubes;
     Rng fill_rng(config.pi_fill_seed ^ 0xBA5E11FEull);
     for (auto& c : baseline) c.random_fill(fill_rng);
-    const CampaignResult r = run_fault_campaign(nl, faults, baseline);
+    const CampaignResult r = run_campaign(nl, faults, baseline,
+                                          {.num_threads = config.num_threads});
     result.detected_baseline = r.detected;
   }
 

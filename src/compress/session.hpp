@@ -23,6 +23,7 @@ struct CompressedSessionConfig {
   EdtConfig edt;
   std::size_t out_channels = 2;  // response compactor width
   std::uint64_t pi_fill_seed = 7;
+  std::size_t num_threads = 1;   // fault-campaign workers (baseline grading)
 };
 
 struct CompressedSessionResult {

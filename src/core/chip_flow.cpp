@@ -29,8 +29,10 @@ ChipFlowReport run_chip_flow(const Netlist& core, const ChipFlowOptions& options
     soc_faults = collapse_equivalent(soc.netlist, soc_faults);
   }
   report.soc_faults = soc_faults.size();
-  const CampaignResult graded =
-      run_fault_campaign(soc.netlist, soc_faults, broadcast);
+  // The replicated-SoC universe is the biggest campaign in the toolkit —
+  // exactly the case the sharded engine exists for.
+  const CampaignResult graded = run_campaign(soc.netlist, soc_faults,
+                                             broadcast, options.core_flow.campaign);
   report.soc_detected = graded.detected;
 
   // Test-time table.

@@ -21,8 +21,13 @@ DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
   // Scan planning.
   report.scan_plan = plan_scan_chains(nl, options.scan_chains);
 
+  // One campaign worker count for every grading stage (see DftFlowOptions).
+  const std::size_t num_threads = options.campaign.num_threads;
+
   // ATPG.
-  report.atpg = generate_tests(nl, faults, options.atpg);
+  AtpgOptions atpg_opts = options.atpg;
+  atpg_opts.num_threads = num_threads;
+  report.atpg = generate_tests(nl, faults, atpg_opts);
   report.scan_time.patterns = report.atpg.patterns.size();
   report.scan_time.max_chain_length = report.scan_plan.max_chain_length();
 
@@ -30,25 +35,31 @@ DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
   if (options.run_compression && !nl.dffs().empty() &&
       !report.atpg.cubes.empty()) {
     report.compression_ran = true;
+    CompressedSessionConfig compression_opts = options.compression;
+    compression_opts.num_threads = num_threads;
     report.compression = run_compressed_session(
-        nl, report.scan_plan, faults, report.atpg.cubes, options.compression);
+        nl, report.scan_plan, faults, report.atpg.cubes, compression_opts);
   }
 
   // LBIST sign-off.
   if (options.run_lbist) {
     report.lbist_ran = true;
-    report.lbist = run_lbist(nl, faults, options.lbist_patterns, options.lbist);
+    LbistConfig lbist_opts = options.lbist;
+    lbist_opts.num_threads = num_threads;
+    report.lbist = run_lbist(nl, faults, lbist_opts);
   }
 
   // Transition-delay test on the same collapsed lines.
-  if (options.run_transition_atpg) {
+  if (options.run_transition) {
     report.transition_ran = true;
+    TransitionAtpgOptions transition_opts = options.transition;
+    transition_opts.num_threads = num_threads;
     const auto tfaults = generate_transition_faults(nl);
-    report.transition = generate_transition_tests(nl, tfaults, options.transition);
+    report.transition = generate_transition_tests(nl, tfaults, transition_opts);
   }
 
   // Shift-power accounting of the shipped stuck-at patterns.
-  if (options.run_power_analysis && !nl.dffs().empty() &&
+  if (options.run_power && !nl.dffs().empty() &&
       !report.atpg.patterns.empty()) {
     report.power_ran = true;
     report.power = shift_power(nl, report.scan_plan, report.atpg.patterns);

@@ -13,6 +13,7 @@
 #include "atpg/transition_atpg.hpp"
 #include "bist/lbist.hpp"
 #include "compress/session.hpp"
+#include "fsim/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/stats.hpp"
 #include "scan/power.hpp"
@@ -20,18 +21,29 @@
 
 namespace aidft {
 
+/// Power-analysis stage config. The stage has no tunables today; the struct
+/// exists so every optional stage has the same shape (`run_<stage>` flag +
+/// `<stage>` config, mirroring DftFlowReport's `<stage>_ran` fields) and
+/// future knobs don't change the API.
+struct PowerStageOptions {};
+
 struct DftFlowOptions {
   std::size_t scan_chains = 4;
   bool collapse_faults = true;
+  /// Fault-campaign settings shared by every grading stage: the facade
+  /// copies `campaign.num_threads` into the per-stage options (atpg, lbist,
+  /// compression, transition) before running them. Call the stages directly
+  /// for per-stage thread counts.
+  CampaignOptions campaign;
   AtpgOptions atpg;
   bool run_compression = true;
   CompressedSessionConfig compression;
   bool run_lbist = true;
-  std::size_t lbist_patterns = 512;
-  LbistConfig lbist;
-  bool run_transition_atpg = false;  // adds two-vector delay test
+  LbistConfig lbist;             // session length is lbist.patterns
+  bool run_transition = false;   // adds two-vector delay test
   TransitionAtpgOptions transition;
-  bool run_power_analysis = true;   // WTM of the final stuck-at pattern set
+  bool run_power = true;         // WTM of the final stuck-at pattern set
+  PowerStageOptions power;
 };
 
 struct DftFlowReport {

@@ -1,0 +1,234 @@
+// Sharded multithreaded campaign engine behind run_campaign().
+//
+// Structure: the pattern stream is packed into 64-wide batches once, up
+// front; the fault list is split into contiguous shards, one per worker.
+// Each worker owns a private FaultSimulator (good-machine cache, event
+// queues, epoch scratch) and replays the full batch stream over its shard,
+// so a fault's detection history is exactly what the serial engine would
+// compute — shard membership never changes per-fault results, which is what
+// makes the output bit-identical for every thread count.
+//
+// Cross-shard dropping: a shared atomic drop bitmap records every fault that
+// needs no further simulation (detected drop_limit times, or its owner
+// exhausted the pattern stream). Workers consult the campaign-wide remaining
+// count between batches and stop streaming as soon as it hits zero.
+#include "fsim/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.hpp"
+#include "fsim/fault_sim.hpp"
+
+namespace aidft {
+namespace {
+
+// Shared cross-shard drop state: bit f set = fault f needs no further
+// simulation. fetch_or keeps the remaining-count exact even if two workers
+// ever raced on the same fault (single-owner sharding today, but the map
+// stays correct under future work-stealing shards).
+class DropMap {
+ public:
+  explicit DropMap(std::size_t n) : words_((n + 63) / 64), remaining_(n) {}
+
+  void drop(std::size_t i) {
+    const std::uint64_t bit = 1ull << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(bit, std::memory_order_relaxed);
+    if ((prev & bit) == 0) remaining_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool campaign_done() const {
+    return remaining_.load(std::memory_order_relaxed) == 0;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::atomic<std::size_t> remaining_;
+};
+
+void validate_patterns(const Netlist& nl, const std::vector<TestCube>& patterns) {
+  const std::size_t width = nl.combinational_inputs().size();
+  for (const auto& p : patterns) {
+    AIDFT_REQUIRE(p.size() == width, "pattern width mismatch");
+    for (Val3 v : p.bits) {
+      AIDFT_REQUIRE(v != Val3::kX, "campaign patterns must be fully specified");
+    }
+  }
+}
+
+std::vector<PatternBatch> pack_capture_batches(
+    const std::vector<TestCube>& patterns) {
+  std::vector<PatternBatch> batches;
+  batches.reserve((patterns.size() + 63) / 64);
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    batches.push_back(pack_patterns(patterns, base, count));
+  }
+  return batches;
+}
+
+// Launch batches for transition grading: lane p of batch b holds the values
+// of pattern (64*b + p - 1), i.e. the vector applied in the cycle before
+// capture. Lane 0 of the first batch has no predecessor: it copies lane 0 of
+// the capture batch (init == final => the transition is never armed there).
+std::vector<PatternBatch> pack_launch_batches(
+    const std::vector<TestCube>& patterns) {
+  std::vector<PatternBatch> batches;
+  batches.reserve((patterns.size() + 63) / 64);
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    const std::size_t lbase = base == 0 ? 0 : base - 1;
+    PatternBatch launch = pack_patterns(patterns, lbase, count);
+    if (base == 0) {
+      const PatternBatch capture = pack_patterns(patterns, 0, count);
+      for (std::size_t i = 0; i < launch.words.size(); ++i) {
+        launch.words[i] = (launch.words[i] << 1) | (capture.words[i] & 1ull);
+      }
+    }
+    launch.npatterns = count;
+    batches.push_back(std::move(launch));
+  }
+  return batches;
+}
+
+// Fills `detected` / `detected_after` from the merged first_detected_by.
+// This reduction is serial and depends only on per-fault first-detection
+// indices, so it is deterministic regardless of worker interleaving.
+void finalize_result(CampaignResult& r, std::size_t npatterns) {
+  std::vector<std::size_t> per_pattern(npatterns, 0);
+  r.detected = 0;
+  for (std::int64_t fd : r.first_detected_by) {
+    if (fd >= 0) {
+      ++per_pattern[static_cast<std::size_t>(fd)];
+      ++r.detected;
+    }
+  }
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < npatterns; ++i) {
+    run += per_pattern[i];
+    r.detected_after[i] = run;
+  }
+}
+
+// The sharded engine, shared by both fault models. `grade` maps
+// (FaultSimulator&, fault, capture_batch) to a detect mask; `needs_launch`
+// says whether a fault requires the launch batch (transition faults).
+template <typename FaultT, typename Grade, typename NeedsLaunch>
+CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
+                           const std::vector<TestCube>& patterns,
+                           const CampaignOptions& options, Grade&& grade,
+                           NeedsLaunch&& needs_launch) {
+  CampaignResult r;
+  r.total_faults = faults.size();
+  r.first_detected_by.assign(faults.size(), -1);
+  r.detected_after.assign(patterns.size(), 0);
+  if (patterns.empty() || faults.empty()) return r;
+
+  validate_patterns(nl, patterns);
+  const std::vector<PatternBatch> capture = pack_capture_batches(patterns);
+  bool any_launch = false;
+  for (const FaultT& f : faults) any_launch = any_launch || needs_launch(f);
+  const std::vector<PatternBatch> launch =
+      any_launch ? pack_launch_batches(patterns) : std::vector<PatternBatch>{};
+
+  DropMap drops(faults.size());
+  const std::size_t num_threads =
+      std::min(resolve_threads(options.num_threads), faults.size());
+
+  // Workers write only first_detected_by[i] for i inside their own shard, so
+  // the merge of per-shard results is race-free; the min-pattern-index rule
+  // holds trivially because each fault has a single owner that scans batches
+  // in stream order.
+  parallel_for(num_threads, faults.size(), [&](std::size_t /*shard*/,
+                                               std::size_t begin,
+                                               std::size_t end) {
+    FaultSimulator fsim(nl);
+    std::vector<std::size_t> alive;
+    alive.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) alive.push_back(i);
+    std::vector<std::size_t> hits(end - begin, 0);
+
+    for (std::size_t b = 0; b < capture.size() && !alive.empty(); ++b) {
+      if (drops.campaign_done()) break;  // cross-shard early exit
+      fsim.load_batch(capture[b]);
+      if (!launch.empty()) {
+        bool shard_needs_launch = false;
+        for (std::size_t i : alive) {
+          if (needs_launch(faults[i])) {
+            shard_needs_launch = true;
+            break;
+          }
+        }
+        if (shard_needs_launch) fsim.load_launch_batch(launch[b]);
+      }
+
+      std::vector<std::size_t> still;
+      still.reserve(alive.size());
+      for (std::size_t i : alive) {
+        const std::uint64_t mask = grade(fsim, faults[i], capture[b]);
+        if (mask != 0) {
+          if (r.first_detected_by[i] < 0) {
+            r.first_detected_by[i] = static_cast<std::int64_t>(
+                b * 64 + static_cast<std::size_t>(__builtin_ctzll(mask)));
+          }
+          hits[i - begin] +=
+              static_cast<std::size_t>(__builtin_popcountll(mask));
+          if (options.drop_limit != 0 && hits[i - begin] >= options.drop_limit) {
+            drops.drop(i);
+            continue;
+          }
+        }
+        still.push_back(i);
+      }
+      alive = std::move(still);
+    }
+    // Shard exhausted the stream: retire the survivors so campaign_done()
+    // converges for the other shards.
+    for (std::size_t i : alive) drops.drop(i);
+  });
+
+  finalize_result(r, patterns.size());
+  return r;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Netlist& netlist, std::span<const Fault> faults,
+                            const std::vector<TestCube>& patterns,
+                            const CampaignOptions& options) {
+  if (options.engine == CampaignEngine::kReference) {
+    for (const Fault& f : faults) {
+      AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
+                    "reference engine grades stuck-at faults only");
+    }
+    return run_sharded(
+        netlist, faults, patterns, options,
+        [](FaultSimulator& fsim, const Fault& f, const PatternBatch& batch) {
+          return fsim.detect_mask_reference(batch, f);
+        },
+        [](const Fault&) { return false; });
+  }
+  return run_sharded(
+      netlist, faults, patterns, options,
+      [](FaultSimulator& fsim, const Fault& f, const PatternBatch&) {
+        return fsim.detect_mask(f);
+      },
+      [](const Fault& f) { return f.kind == FaultKind::kTransition; });
+}
+
+CampaignResult run_campaign(const Netlist& netlist,
+                            std::span<const BridgingFault> faults,
+                            const std::vector<TestCube>& patterns,
+                            const CampaignOptions& options) {
+  AIDFT_REQUIRE(options.engine == CampaignEngine::kPpsfp,
+                "bridging campaigns have no reference engine");
+  return run_sharded(
+      netlist, faults, patterns, options,
+      [](FaultSimulator& fsim, const BridgingFault& f, const PatternBatch&) {
+        return fsim.detect_mask_bridging(f);
+      },
+      [](const BridgingFault&) { return false; });
+}
+
+}  // namespace aidft

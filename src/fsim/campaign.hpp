@@ -1,0 +1,88 @@
+// The unified fault-campaign API.
+//
+// Every pattern-grading loop in the toolkit — ATPG random-phase dropping,
+// EDT/LBIST grading, transition-pair grading, bridging campaigns — is one
+// call: run_campaign(netlist, faults, patterns, options). Options select the
+// engine (PPSFP or the full-resimulation reference oracle), the number of
+// worker threads, and the fault-dropping policy.
+//
+// Parallelism and determinism contract:
+//  * The fault list is sharded into contiguous blocks, one per worker; each
+//    worker owns a private FaultSimulator and streams the same 64-pattern
+//    batches over its shard (the netlist is shared read-only).
+//  * A fault's detection history depends only on the fault and the pattern
+//    stream — never on which shard graded it — and per-shard results are
+//    merged with the min-pattern-index rule, so a CampaignResult is
+//    bit-identical for every num_threads value (including the serial path).
+//  * Dropping is cross-shard: drops are published in a shared atomic drop
+//    bitmap, letting every worker observe campaign-wide progress and exit
+//    as soon as no fault anywhere still needs simulation.
+//
+// Picking num_threads: 0 means one worker per hardware thread, which is the
+// right default for offline campaigns; inside an already-parallel caller
+// keep the default of 1. Each worker re-runs the good-machine simulation per
+// batch, so speedup comes from the per-fault propagation work dominating —
+// i.e. thousands of faults per shard; tiny fault lists should stay serial.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/bridging.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+
+enum class CampaignEngine : std::uint8_t {
+  kPpsfp,      // event-driven parallel-pattern single-fault propagation
+  kReference,  // full-circuit resimulation oracle (stuck-at only)
+};
+
+struct CampaignOptions {
+  CampaignEngine engine = CampaignEngine::kPpsfp;
+  /// Worker threads; 0 = one per hardware thread. Results are bit-identical
+  /// for every value (see the determinism contract above).
+  std::size_t num_threads = 1;
+  /// A fault stops being simulated once it has been seen detecting on this
+  /// many pattern lanes (1 = classic first-detect dropping, the default;
+  /// 0 = never drop, grading every fault against every pattern).
+  std::size_t drop_limit = 1;
+};
+
+/// Result of grading a pattern set against a fault list.
+struct CampaignResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  /// Per fault: index of first detecting pattern (capture pattern for
+  /// transition faults), or -1 if undetected.
+  std::vector<std::int64_t> first_detected_by;
+  /// Cumulative detected count after pattern i (coverage curve).
+  std::vector<std::size_t> detected_after;
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected) / static_cast<double>(total_faults);
+  }
+};
+
+/// Grades fully specified `patterns` against stuck-at / transition `faults`.
+/// Stuck-at faults are graded per pattern; transition faults on consecutive
+/// pattern pairs (launch = i-1, capture = i; pattern 0 cannot detect them).
+/// CampaignEngine::kReference requires a pure stuck-at fault list.
+CampaignResult run_campaign(const Netlist& netlist,
+                            std::span<const Fault> faults,
+                            const std::vector<TestCube>& patterns,
+                            const CampaignOptions& options = {});
+
+/// Grades a pattern set against bridging faults (PPSFP engine only). The
+/// CampaignResult indexes follow `faults` order.
+CampaignResult run_campaign(const Netlist& netlist,
+                            std::span<const BridgingFault> faults,
+                            const std::vector<TestCube>& patterns,
+                            const CampaignOptions& options = {});
+
+}  // namespace aidft

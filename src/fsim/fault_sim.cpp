@@ -318,148 +318,4 @@ std::uint64_t FaultSimulator::detect_mask_reference(const PatternBatch& batch,
   return detect & batch.lane_mask();
 }
 
-namespace {
-
-CampaignResult run_campaign_impl(const Netlist& nl, std::span<const Fault> faults,
-                                 const std::vector<TestCube>& patterns,
-                                 bool reference_engine) {
-  CampaignResult r;
-  r.total_faults = faults.size();
-  r.first_detected_by.assign(faults.size(), -1);
-  r.detected_after.assign(patterns.size(), 0);
-  if (patterns.empty() || faults.empty()) return r;
-
-  FaultSimulator fsim(nl);
-  std::vector<std::size_t> alive(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) alive[i] = i;
-
-  const std::size_t width = nl.combinational_inputs().size();
-  for (const auto& p : patterns) {
-    AIDFT_REQUIRE(p.size() == width, "pattern width mismatch");
-    for (Val3 v : p.bits) {
-      AIDFT_REQUIRE(v != Val3::kX, "campaign patterns must be fully specified");
-    }
-  }
-
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    const PatternBatch batch = pack_patterns(patterns, base, count);
-    fsim.load_batch(batch);
-    // Launch batch for transition grading: the previous pattern of each lane
-    // (lane p's launch = pattern base+p-1; lane 0 of the first batch is
-    // unarmed). Build it by shifting the pattern window back by one.
-    bool any_transition = false;
-    for (std::size_t ai : alive) {
-      if (faults[ai].kind == FaultKind::kTransition) {
-        any_transition = true;
-        break;
-      }
-    }
-    if (any_transition) {
-      const std::size_t lbase = base == 0 ? 0 : base - 1;
-      PatternBatch launch = pack_patterns(patterns, lbase, count);
-      if (base == 0) {
-        // Lane 0 has no predecessor: keep it but mark it unarmed by copying
-        // lane 0 of the capture batch (init == final ⇒ never armed).
-        for (std::size_t i = 0; i < width; ++i) {
-          launch.words[i] = (launch.words[i] << 1) | (batch.words[i] & 1ull);
-        }
-      }
-      launch.npatterns = count;
-      fsim.load_launch_batch(launch);
-    }
-
-    std::vector<std::size_t> still_alive;
-    still_alive.reserve(alive.size());
-    for (std::size_t ai : alive) {
-      std::uint64_t mask;
-      if (reference_engine) {
-        mask = fsim.detect_mask_reference(batch, faults[ai]);
-      } else {
-        mask = fsim.detect_mask(faults[ai]);
-      }
-      if (mask != 0) {
-        const auto lane = static_cast<std::size_t>(__builtin_ctzll(mask));
-        r.first_detected_by[ai] = static_cast<std::int64_t>(base + lane);
-        ++r.detected;
-      } else {
-        still_alive.push_back(ai);
-      }
-    }
-    alive = std::move(still_alive);
-    if (alive.empty()) break;
-  }
-
-  // Cumulative curve.
-  std::vector<std::size_t> per_pattern(patterns.size(), 0);
-  for (std::int64_t fd : r.first_detected_by) {
-    if (fd >= 0) ++per_pattern[static_cast<std::size_t>(fd)];
-  }
-  std::size_t run = 0;
-  for (std::size_t i = 0; i < patterns.size(); ++i) {
-    run += per_pattern[i];
-    r.detected_after[i] = run;
-  }
-  return r;
-}
-
-}  // namespace
-
-CampaignResult run_fault_campaign(const Netlist& nl, std::span<const Fault> faults,
-                                  const std::vector<TestCube>& patterns) {
-  return run_campaign_impl(nl, faults, patterns, /*reference_engine=*/false);
-}
-
-CampaignResult run_fault_campaign_reference(const Netlist& nl,
-                                            std::span<const Fault> faults,
-                                            const std::vector<TestCube>& patterns) {
-  for (const Fault& f : faults) {
-    AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
-                  "reference campaign grades stuck-at faults only");
-  }
-  return run_campaign_impl(nl, faults, patterns, /*reference_engine=*/true);
-}
-
-CampaignResult run_bridging_campaign(const Netlist& nl,
-                                     std::span<const BridgingFault> faults,
-                                     const std::vector<TestCube>& patterns) {
-  CampaignResult r;
-  r.total_faults = faults.size();
-  r.first_detected_by.assign(faults.size(), -1);
-  r.detected_after.assign(patterns.size(), 0);
-  if (patterns.empty() || faults.empty()) return r;
-
-  FaultSimulator fsim(nl);
-  std::vector<std::size_t> alive(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) alive[i] = i;
-  for (std::size_t base = 0; base < patterns.size() && !alive.empty();
-       base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    fsim.load_batch(pack_patterns(patterns, base, count));
-    std::vector<std::size_t> still;
-    still.reserve(alive.size());
-    for (std::size_t ai : alive) {
-      const std::uint64_t mask = fsim.detect_mask_bridging(faults[ai]);
-      if (mask != 0) {
-        r.first_detected_by[ai] =
-            static_cast<std::int64_t>(base + __builtin_ctzll(mask));
-        ++r.detected;
-      } else {
-        still.push_back(ai);
-      }
-    }
-    alive = std::move(still);
-  }
-  std::vector<std::size_t> per_pattern(patterns.size(), 0);
-  for (std::int64_t fd : r.first_detected_by) {
-    if (fd >= 0) ++per_pattern[static_cast<std::size_t>(fd)];
-  }
-  std::size_t run = 0;
-  for (std::size_t i = 0; i < patterns.size(); ++i) {
-    run += per_pattern[i];
-    r.detected_after[i] = run;
-  }
-  return r;
-}
-
 }  // namespace aidft

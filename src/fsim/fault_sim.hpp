@@ -21,6 +21,7 @@
 
 #include "fault/bridging.hpp"
 #include "fault/fault.hpp"
+#include "fsim/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/parallel_sim.hpp"
 
@@ -98,40 +99,39 @@ class FaultSimulator {
   std::vector<std::vector<std::uint32_t>> op_index_of_gate_;
 };
 
-/// Result of grading a pattern set against a fault list.
-struct CampaignResult {
-  std::size_t total_faults = 0;
-  std::size_t detected = 0;
-  /// Per fault: index of first detecting pattern (capture pattern for
-  /// transition faults), or -1 if undetected.
-  std::vector<std::int64_t> first_detected_by;
-  /// Cumulative detected count after pattern i (coverage curve).
-  std::vector<std::size_t> detected_after;
+// ── Deprecated campaign entry points ────────────────────────────────────
+// The three free-function campaigns were unified behind run_campaign() in
+// fsim/campaign.hpp, which adds engine selection, multithreading, and an
+// n-detect drop limit. Migration:
+//   run_fault_campaign(nl, f, p)            -> run_campaign(nl, f, p)
+//   run_fault_campaign_reference(nl, f, p)  -> run_campaign(nl, f, p,
+//                                   {.engine = CampaignEngine::kReference})
+//   run_bridging_campaign(nl, f, p)         -> run_campaign(nl, f, p)
+// These wrappers keep out-of-tree callers compiling and will be removed in
+// a future release.
 
-  double coverage() const {
-    return total_faults == 0
-               ? 1.0
-               : static_cast<double>(detected) / static_cast<double>(total_faults);
-  }
-};
+[[deprecated("use run_campaign() from fsim/campaign.hpp")]]
+inline CampaignResult run_fault_campaign(const Netlist& netlist,
+                                         std::span<const Fault> faults,
+                                         const std::vector<TestCube>& patterns) {
+  return run_campaign(netlist, faults, patterns);
+}
 
-/// Grades fully specified `patterns` against `faults` with fault dropping.
-/// Stuck-at faults are graded per pattern; transition faults on consecutive
-/// pattern pairs (launch = i-1, capture = i; pattern 0 cannot detect them).
-CampaignResult run_fault_campaign(const Netlist& netlist,
-                                  std::span<const Fault> faults,
-                                  const std::vector<TestCube>& patterns);
+[[deprecated(
+    "use run_campaign() with CampaignEngine::kReference from "
+    "fsim/campaign.hpp")]]
+inline CampaignResult run_fault_campaign_reference(
+    const Netlist& netlist, std::span<const Fault> faults,
+    const std::vector<TestCube>& patterns) {
+  return run_campaign(netlist, faults, patterns,
+                      {.engine = CampaignEngine::kReference});
+}
 
-/// Reference-engine campaign (full resim per fault); used by tests and as
-/// the E3 baseline. Stuck-at only.
-CampaignResult run_fault_campaign_reference(const Netlist& netlist,
-                                            std::span<const Fault> faults,
-                                            const std::vector<TestCube>& patterns);
-
-/// Grades a pattern set against bridging faults (with dropping). The
-/// CampaignResult indexes follow `faults` order.
-CampaignResult run_bridging_campaign(const Netlist& netlist,
-                                     std::span<const BridgingFault> faults,
-                                     const std::vector<TestCube>& patterns);
+[[deprecated("use run_campaign() from fsim/campaign.hpp")]]
+inline CampaignResult run_bridging_campaign(
+    const Netlist& netlist, std::span<const BridgingFault> faults,
+    const std::vector<TestCube>& patterns) {
+  return run_campaign(netlist, faults, patterns);
+}
 
 }  // namespace aidft

@@ -95,7 +95,7 @@ TEST(SystolicArray, FullyTestableUnderFullScan) {
   Rng rng(23);
   const auto patterns =
       random_patterns(arr.combinational_inputs().size(), 512, rng);
-  const CampaignResult r = run_fault_campaign(arr, faults, patterns);
+  const CampaignResult r = run_campaign(arr, faults, patterns);
   EXPECT_GT(r.coverage(), 0.9);
   // ...and ATPG finishes the job: every fault is either detected or PROVEN
   // redundant (array multipliers contain classic redundant faults — c6288's
@@ -142,7 +142,7 @@ TEST(Soc, BroadcastCoverageEqualsCoreCoverage) {
   const auto core_patterns =
       random_patterns(core.combinational_inputs().size(), 256, rng);
   const CampaignResult core_r =
-      run_fault_campaign(core, core_faults, core_patterns);
+      run_campaign(core, core_faults, core_patterns);
 
   const auto soc = aichip::make_replicated_soc(core, 4);
   const auto soc_faults = generate_stuck_at_faults(soc.netlist);
@@ -152,7 +152,7 @@ TEST(Soc, BroadcastCoverageEqualsCoreCoverage) {
     broadcast.push_back(aichip::broadcast_cube(soc, p));
   }
   const CampaignResult soc_r =
-      run_fault_campaign(soc.netlist, soc_faults, broadcast);
+      run_campaign(soc.netlist, soc_faults, broadcast);
   EXPECT_EQ(soc_r.detected, 4 * core_r.detected);
   EXPECT_DOUBLE_EQ(soc_r.coverage(), core_r.coverage());
 }

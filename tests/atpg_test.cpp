@@ -165,7 +165,7 @@ TEST(GenerateTests, FullPipelineReachesFullTestCoverage) {
     EXPECT_EQ(r.aborted, 0u) << which;
     EXPECT_DOUBLE_EQ(r.test_coverage(), 1.0) << which;
     // Re-grade the emitted patterns independently: coverage must match.
-    const CampaignResult regraded = run_fault_campaign(nl, faults, r.patterns);
+    const CampaignResult regraded = run_campaign(nl, faults, r.patterns);
     EXPECT_EQ(regraded.detected, r.detected) << which;
   }
 }
@@ -204,7 +204,7 @@ TEST(GenerateTests, FewerPatternsThanRandomForSameCoverage) {
   Rng rng(123);
   const auto rand_patterns =
       random_patterns(nl.combinational_inputs().size(), 2048, rng);
-  const CampaignResult rand_r = run_fault_campaign(nl, faults, rand_patterns);
+  const CampaignResult rand_r = run_campaign(nl, faults, rand_patterns);
   EXPECT_LT(rand_r.coverage(), det.test_coverage());
 }
 
@@ -228,7 +228,7 @@ TEST(Compaction, StaticCompactionPreservesCoverage) {
   EXPECT_LT(compacted.size(), cubes.size());
   Rng rng(5);
   fill_cubes(compacted, XFill::kRandom, rng);
-  const CampaignResult after = run_fault_campaign(nl, faults, compacted);
+  const CampaignResult after = run_campaign(nl, faults, compacted);
   // Every fault that had a cube must still be detected (merging preserves
   // each cube's specified bits).
   EXPECT_GE(after.detected, cubes.size() > 0 ? 1u : 0u);

@@ -29,8 +29,8 @@ TEST(Prpg, PatternsLookRandomAndDeterministic) {
 TEST(Lbist, CoverageGrowsAndSignatureStable) {
   const Netlist nl = circuits::make_alu(4);
   const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
-  const LbistResult r1 = run_lbist(nl, faults, 256);
-  const LbistResult r2 = run_lbist(nl, faults, 256);
+  const LbistResult r1 = run_lbist(nl, faults, {.patterns = 256});
+  const LbistResult r2 = run_lbist(nl, faults, {.patterns = 256});
   EXPECT_EQ(r1.golden_signature, r2.golden_signature);
   EXPECT_EQ(r1.detected, r2.detected);
   EXPECT_GT(r1.coverage(), 0.9);  // ALUs are random-pattern friendly
@@ -42,15 +42,15 @@ TEST(Lbist, CoverageGrowsAndSignatureStable) {
 TEST(Lbist, DetectedFaultChangesSignature) {
   const Netlist nl = circuits::make_ripple_adder(4);
   const auto faults = generate_stuck_at_faults(nl);
-  const std::size_t npat = 64;
-  const LbistResult golden = run_lbist(nl, faults, npat);
+  const LbistConfig cfg{.patterns = 64};
+  const LbistResult golden = run_lbist(nl, faults, cfg);
   std::size_t checked = 0;
   for (std::size_t i = 0; i < faults.size() && checked < 10; ++i) {
     // Only faults LBIST detects are required to corrupt the signature.
-    const LbistResult solo = run_lbist(nl, {faults[i]}, npat);
+    const LbistResult solo = run_lbist(nl, {faults[i]}, cfg);
     if (solo.detected == 0) continue;
     ++checked;
-    EXPECT_NE(faulty_signature(nl, faults[i], npat), golden.golden_signature)
+    EXPECT_NE(faulty_signature(nl, faults[i], cfg), golden.golden_signature)
         << fault_name(nl, faults[i]);
   }
   EXPECT_GE(checked, 5u);
@@ -60,9 +60,10 @@ TEST(Lbist, UndetectedFaultKeepsSignature) {
   const Netlist nl = circuits::make_redundant();
   const GateId t3 = nl.find("t_bc_redundant");
   const Fault redundant{t3, kStemPin, 0, FaultKind::kStuckAt};
-  const auto golden = run_lbist(nl, {redundant}, 128);
+  const LbistConfig cfg{.patterns = 128};
+  const auto golden = run_lbist(nl, {redundant}, cfg);
   EXPECT_EQ(golden.detected, 0u);
-  EXPECT_EQ(faulty_signature(nl, redundant, 128), golden.golden_signature);
+  EXPECT_EQ(faulty_signature(nl, redundant, cfg), golden.golden_signature);
 }
 
 TEST(TestPoints, SelectionPrefersHardNets) {
@@ -114,14 +115,14 @@ TEST(TestPoints, RecoverLbistCoverageOnRpResistantLogic) {
   // The E5 claim: test points lift LBIST coverage on RP-resistant logic.
   const Netlist nl = circuits::make_rp_resistant(3, 12);
   const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
-  const std::size_t npat = 256;
-  const LbistResult before = run_lbist(nl, faults, npat);
+  const LbistConfig cfg{.patterns = 256};
+  const LbistResult before = run_lbist(nl, faults, cfg);
 
   const ScoapResult scoap = compute_scoap(nl);
   const TestPointPlan plan = select_test_points(nl, scoap, 6, 6);
   const Netlist tp = apply_test_points(nl, plan);
   const auto tp_faults = collapse_equivalent(tp, generate_stuck_at_faults(tp));
-  const LbistResult after = run_lbist(tp, tp_faults, npat);
+  const LbistResult after = run_lbist(tp, tp_faults, cfg);
 
   EXPECT_LT(before.coverage(), 0.999);
   EXPECT_GT(after.coverage(), before.coverage());

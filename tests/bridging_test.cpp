@@ -108,7 +108,7 @@ TEST(BridgeCampaign, StuckAtTestSetCatchesMostBridges) {
 
   const auto bridges = sample_bridging_faults(nl, 200, 77);
   ASSERT_GT(bridges.size(), 100u);
-  const CampaignResult r = run_bridging_campaign(nl, bridges, atpg.patterns);
+  const CampaignResult r = run_campaign(nl, bridges, atpg.patterns);
   // High but not guaranteed: wired bridges need the two nets at opposite
   // values with propagation, which SA tests produce as a side effect.
   EXPECT_GT(r.coverage(), 0.85);
@@ -119,7 +119,7 @@ TEST(BridgeCampaign, DroppingCurveMonotone) {
   const auto bridges = sample_bridging_faults(nl, 100, 13);
   Rng rng(4);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 128, rng);
-  const CampaignResult r = run_bridging_campaign(nl, bridges, patterns);
+  const CampaignResult r = run_campaign(nl, bridges, patterns);
   for (std::size_t i = 1; i < r.detected_after.size(); ++i) {
     EXPECT_GE(r.detected_after[i], r.detected_after[i - 1]);
   }

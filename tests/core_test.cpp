@@ -14,7 +14,7 @@ TEST(DftFlow, EndToEndOnRegisteredMac) {
   DftFlowOptions opts;
   opts.scan_chains = 3;
   opts.atpg.random_patterns = 0;  // feed compression pure cubes
-  opts.lbist_patterns = 256;
+  opts.lbist.patterns = 256;
   const DftFlowReport report = run_dft_flow(nl, opts);
 
   EXPECT_GT(report.faults_total, report.faults_collapsed);
@@ -34,7 +34,7 @@ TEST(DftFlow, EndToEndOnRegisteredMac) {
 TEST(DftFlow, TransitionAndPowerStagesReport) {
   const Netlist nl = circuits::make_mac(4, /*registered=*/true);
   DftFlowOptions opts;
-  opts.run_transition_atpg = true;
+  opts.run_transition = true;
   opts.run_lbist = false;
   opts.run_compression = false;
   const DftFlowReport report = run_dft_flow(nl, opts);
@@ -51,7 +51,7 @@ TEST(DftFlow, TransitionAndPowerStagesReport) {
 TEST(DftFlow, CombinationalDesignSkipsCompression) {
   const Netlist nl = circuits::make_alu(4);
   DftFlowOptions opts;
-  opts.lbist_patterns = 128;
+  opts.lbist.patterns = 128;
   const DftFlowReport report = run_dft_flow(nl, opts);
   EXPECT_FALSE(report.compression_ran);  // no flops, nothing to compress
   EXPECT_DOUBLE_EQ(report.atpg.test_coverage(), 1.0);

@@ -124,7 +124,7 @@ TEST(FaultSim, CampaignCoverageMonotone) {
   const auto faults = generate_stuck_at_faults(nl);
   Rng rng(2);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 192, rng);
-  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult r = run_campaign(nl, faults, patterns);
   ASSERT_EQ(r.detected_after.size(), patterns.size());
   for (std::size_t i = 1; i < r.detected_after.size(); ++i) {
     EXPECT_GE(r.detected_after[i], r.detected_after[i - 1]);
@@ -138,8 +138,9 @@ TEST(FaultSim, CampaignMatchesReferenceCampaign) {
   const auto faults = generate_stuck_at_faults(nl);
   Rng rng(9);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng);
-  const CampaignResult fast = run_fault_campaign(nl, faults, patterns);
-  const CampaignResult ref = run_fault_campaign_reference(nl, faults, patterns);
+  const CampaignResult fast = run_campaign(nl, faults, patterns);
+  const CampaignResult ref =
+      run_campaign(nl, faults, patterns, {.engine = CampaignEngine::kReference});
   EXPECT_EQ(fast.detected, ref.detected);
   ASSERT_EQ(fast.first_detected_by.size(), ref.first_detected_by.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -155,7 +156,7 @@ TEST(FaultSim, RpResistantEscapesRandomPatterns) {
   const auto faults = generate_stuck_at_faults(nl);
   Rng rng(4);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng);
-  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult r = run_campaign(nl, faults, patterns);
   EXPECT_LT(r.coverage(), 1.0);
 }
 
@@ -193,7 +194,7 @@ TEST(FaultSim, TransitionCampaignUsesConsecutivePairs) {
   const auto faults = generate_transition_faults(nl);
   Rng rng(21);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 256, rng);
-  const CampaignResult r = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult r = run_campaign(nl, faults, patterns);
   // Random consecutive pairs both arm and detect most transition faults on
   // an adder.
   EXPECT_GT(r.coverage(), 0.7);
@@ -206,10 +207,10 @@ TEST(FaultSim, TransitionCampaignUsesConsecutivePairs) {
 TEST(FaultSim, EmptyInputsAreHandled) {
   const Netlist nl = circuits::make_c17();
   const auto faults = generate_stuck_at_faults(nl);
-  const CampaignResult r0 = run_fault_campaign(nl, faults, {});
+  const CampaignResult r0 = run_campaign(nl, faults, {});
   EXPECT_EQ(r0.detected, 0u);
   Rng rng(1);
-  const CampaignResult r1 = run_fault_campaign(nl, std::span<const Fault>{},
+  const CampaignResult r1 = run_campaign(nl, std::span<const Fault>{},
                                                random_patterns(5, 8, rng));
   EXPECT_EQ(r1.total_faults, 0u);
   EXPECT_EQ(r1.coverage(), 1.0);

@@ -69,7 +69,7 @@ TEST(AdjacentFill, CutsShiftPowerVsRandomFill) {
       << "adjacent fill should at least halve shift power";
 
   // Every deterministically-targeted fault stays detected.
-  const CampaignResult graded = run_fault_campaign(nl, faults, adj_filled);
+  const CampaignResult graded = run_campaign(nl, faults, adj_filled);
   std::size_t cube_targets = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (graded.first_detected_by[i] >= 0) ++cube_targets;

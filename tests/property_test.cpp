@@ -107,8 +107,8 @@ TEST_P(DominanceTheorem, DroppedFaultsAreCoveredByKeptSet) {
   Rng rng(GetParam() * 3 + 1);
   const auto patterns =
       random_patterns(nl.combinational_inputs().size(), 512, rng);
-  const CampaignResult r_eq = run_fault_campaign(nl, eq, patterns);
-  const CampaignResult r_dom = run_fault_campaign(nl, dom, patterns);
+  const CampaignResult r_eq = run_campaign(nl, eq, patterns);
+  const CampaignResult r_dom = run_campaign(nl, dom, patterns);
   // If the dominance-reduced set is fully detected, the full equivalence
   // set must be too (that is the soundness guarantee of the reduction).
   if (r_dom.detected == dom.size()) {

@@ -61,7 +61,7 @@ TEST(SeqFsim, CombinationalCircuitMatchesScanCampaignShape) {
     }
   }
   const SeqCampaignResult functional = run_functional_campaign(nl, faults, seq);
-  const CampaignResult scan = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult scan = run_campaign(nl, faults, patterns);
   EXPECT_EQ(functional.detected, scan.detected);
 }
 
@@ -75,7 +75,7 @@ TEST(SeqFsim, FunctionalCoverageBelowScanOnSequentialLogic) {
 
   Rng rng2(5);
   const auto patterns = random_patterns(nl.combinational_inputs().size(), 64, rng2);
-  const CampaignResult scan = run_fault_campaign(nl, faults, patterns);
+  const CampaignResult scan = run_campaign(nl, faults, patterns);
   EXPECT_LT(functional.coverage(), scan.coverage());
 }
 

@@ -127,7 +127,7 @@ TEST(Tap, ControllerIsFullyScanTestable) {
   Rng rng(3);
   const auto patterns =
       random_patterns(tap.netlist.combinational_inputs().size(), 256, rng);
-  const CampaignResult r = run_fault_campaign(tap.netlist, faults, patterns);
+  const CampaignResult r = run_campaign(tap.netlist, faults, patterns);
   EXPECT_GT(r.coverage(), 0.95);
 }
 

@@ -63,7 +63,7 @@ TEST_P(TransitionAtpgOnCircuit, PairsDetectTheirFaults) {
   EXPECT_EQ(result.patterns.size() % 2, 0u);
   // The result's statuses are an authoritative regrade: verify against an
   // independent campaign run.
-  const CampaignResult check = run_fault_campaign(nl, faults, result.patterns);
+  const CampaignResult check = run_campaign(nl, faults, result.patterns);
   std::size_t detected_check = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (check.first_detected_by[i] >= 0) ++detected_check;
@@ -115,7 +115,7 @@ TEST(TransitionAtpg, BeatsRandomPairsOnRpResistantLogic) {
   Rng rng(3);
   const auto random =
       random_patterns(nl.combinational_inputs().size(), 1024, rng);
-  const CampaignResult rand_r = run_fault_campaign(nl, faults, random);
+  const CampaignResult rand_r = run_campaign(nl, faults, random);
   EXPECT_LT(rand_r.coverage(), det.fault_coverage());
 }
 
