@@ -7,6 +7,7 @@
 #include "atpg/transition_atpg.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

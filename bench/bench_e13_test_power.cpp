@@ -9,6 +9,7 @@
 #include "aichip/systolic.hpp"
 #include "atpg/atpg.hpp"
 #include "bench_util.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "scan/power.hpp"
 

@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "fault/bridging.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

@@ -19,6 +19,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {
@@ -139,6 +140,27 @@ void e3_campaign_threads(benchmark::State& state, const std::string& name,
   }
 }
 
+// Instrumented campaign rung: the same run with a telemetry sink attached,
+// emitting the engine's own counters (fsim.events, campaign.batches, ...)
+// as bench-row counters. Comparing its wall time against the t-matched
+// plain campaign rung bounds the enabled-telemetry overhead.
+void e3_campaign_instrumented(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(7);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), kPatterns, rng);
+  obs::Telemetry telemetry;
+  const CampaignOptions opts{.num_threads = 1, .telemetry = &telemetry};
+  for (auto _ : state) {
+    const CampaignResult r = run_campaign(nl, faults, patterns, opts);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size() * kPatterns));
+  bench::emit_metrics(state, telemetry.metrics.snapshot());
+}
+
 void register_all() {
   for (const char* name : {"mul8", "mul12", "alu8", "mac8reg", "cla16"}) {
     aidft::bench::reg(
@@ -166,6 +188,10 @@ void register_all() {
           })
           ->Unit(benchmark::kMillisecond);
     }
+    aidft::bench::reg(
+        std::string("E3/campaign_instrumented/") + name,
+        [name](benchmark::State& s) { e3_campaign_instrumented(s, name); })
+        ->Unit(benchmark::kMillisecond);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "aichip/test_time.hpp"
 #include "atpg/atpg.hpp"
 #include "fault/fault.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

@@ -6,6 +6,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <utility>
 
 #include "bench_circuits/generators.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace aidft::bench {
 
@@ -36,11 +38,32 @@ inline Netlist circuit_by_name(const std::string& name) {
 
 namespace aidft::bench {
 
+/// Version of the bench-row counter schema. Bumped whenever the meaning or
+/// set of emitted counters changes, so downstream table scrapers can detect
+/// rows produced by an incompatible toolkit build. Every rung registered
+/// through reg() carries it as a `schema_version` counter.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// RegisterBenchmark shim: the packaged google-benchmark predates the
-/// std::string overload.
+/// std::string overload. Also stamps `schema_version` on every row.
 template <typename F>
 benchmark::internal::Benchmark* reg(const std::string& name, F&& fn) {
-  return benchmark::RegisterBenchmark(name.c_str(), std::forward<F>(fn));
+  return benchmark::RegisterBenchmark(
+      name.c_str(), [fn = std::forward<F>(fn)](benchmark::State& st) mutable {
+        fn(st);
+        st.counters["schema_version"] = kBenchSchemaVersion;
+      });
+}
+
+/// Copies every counter of a metrics snapshot onto a bench row (prefixed
+/// verbatim, e.g. `fsim.events`), so instrumented counters land in the same
+/// table as the hand-computed ones.
+inline void emit_metrics(benchmark::State& st,
+                         const obs::MetricsSnapshot& snapshot) {
+  for (const auto& e : snapshot.entries) {
+    if (e.kind != obs::MetricsSnapshot::Kind::kCounter) continue;
+    st.counters[e.name] = static_cast<double>(e.value);
+  }
 }
 
 }  // namespace aidft::bench

@@ -7,18 +7,44 @@
 // table — the quantitative version of "identical cores make AI chips cheap
 // to test".
 //
-//   ./ai_chip_signoff [num_cores]
+//   ./ai_chip_signoff [num_cores] [--json] [--trace <file>]
+//
+//   --json          print the core-flow report as JSON (after the text table)
+//   --trace <file>  attach a telemetry sink and write a Chrome-trace JSON of
+//                   the whole flow; open it at https://ui.perfetto.dev
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "aichip/systolic.hpp"
 #include "netlist/stats.hpp"
 #include "core/chip_flow.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace aidft;
-  const std::size_t num_cores =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  std::size_t num_cores = 8;
+  bool emit_json = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a file argument\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [num_cores] [--json] [--trace <file>]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      num_cores = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
 
   aichip::SystolicConfig core_cfg;
   core_cfg.rows = 2;
@@ -36,6 +62,11 @@ int main(int argc, char** argv) {
   options.core_flow.lbist.patterns = 256;
   options.tester.channels = 8;
 
+  obs::Telemetry telemetry;
+  if (emit_json || !trace_path.empty()) {
+    options.core_flow.telemetry = &telemetry;
+  }
+
   const ChipFlowReport report = run_chip_flow(core, options);
   std::printf("%s\n", report.to_string().c_str());
 
@@ -45,5 +76,17 @@ int main(int argc, char** argv) {
                                                        : report.broadcast_cycles);
   std::printf("broadcast speedup over per-core sequential test: %.1fx\n",
               speedup);
+
+  if (emit_json) {
+    std::printf("%s\n", report.core.to_json().c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!telemetry.trace.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace with %zu events written to %s (open in Perfetto)\n",
+                telemetry.trace.event_count(), trace_path.c_str());
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "netlist/scoap.hpp"
 
@@ -47,11 +48,15 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
 
   // ---- Phase 1: random patterns with dropping --------------------------
   if (options.random_patterns > 0 && width > 0) {
+    obs::Span phase_span =
+        obs::span(options.telemetry, "atpg.random_phase", "atpg");
     std::vector<TestCube> random = random_patterns(width, options.random_patterns, rng);
     // Keep only the effective patterns (those that detected something new)
     // in the final set.
-    CampaignResult campaign = run_campaign(nl, faults, random,
-                                           {.num_threads = options.num_threads});
+    CampaignResult campaign =
+        run_campaign(nl, faults, random,
+                     {.num_threads = options.num_threads,
+                      .telemetry = options.telemetry});
     std::vector<bool> keep(random.size(), false);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       const std::int64_t fd = campaign.first_detected_by[i];
@@ -64,15 +69,32 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     for (std::size_t p = 0; p < random.size(); ++p) {
       if (keep[p]) result.patterns.push_back(std::move(random[p]));
     }
+    if (phase_span.active()) {
+      phase_span.arg("patterns", options.random_patterns);
+      phase_span.arg("detected", result.random_phase_detected);
+    }
   }
 
   // ---- Phase 2: deterministic with dynamic compaction ------------------
+  obs::Span phase_span =
+      obs::span(options.telemetry, "atpg.deterministic_phase", "atpg");
   const ScoapResult scoap = compute_scoap(nl);
   Podem podem(nl, &scoap);
   SatAtpg sat(nl);
   PodemOptions podem_opts;
   podem_opts.backtrack_limit = options.podem_backtrack_limit;
-  SatAtpgOptions sat_opts{options.sat_conflict_limit};
+  SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry};
+
+  // PODEM search-effort tallies, aggregated from per-call outcomes and
+  // flushed to the sink once at phase end.
+  std::uint64_t podem_backtracks = 0;
+  std::uint64_t podem_decisions = 0;
+  std::uint64_t podem_implications = 0;
+  auto note_podem = [&](const AtpgOutcome& o) {
+    podem_backtracks += o.backtracks;
+    podem_decisions += o.decisions;
+    podem_implications += o.implications;
+  };
 
   TestCube open_cube;   // dynamic-compaction accumulator
   bool open_valid = false;
@@ -102,6 +124,7 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
       case AtpgEngine::kPodem:
         ++result.podem_calls;
         outcome = podem.generate(faults[i], podem_opts);
+        note_podem(outcome);
         break;
       case AtpgEngine::kSat:
         ++result.sat_calls;
@@ -110,6 +133,7 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
       case AtpgEngine::kPodemThenSat:
         ++result.podem_calls;
         outcome = podem.generate(faults[i], podem_opts);
+        note_podem(outcome);
         if (outcome.status == AtpgStatus::kAborted) {
           ++result.sat_calls;
           outcome = sat.generate(faults[i], sat_opts);
@@ -150,6 +174,19 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     if (s == FaultStatus::kDetected) ++result.detected;
     if (s == FaultStatus::kUntestable) ++result.untestable;
     if (s == FaultStatus::kAborted) ++result.aborted;
+  }
+
+  if (options.telemetry != nullptr) {
+    obs::add(options.telemetry, "podem.calls", result.podem_calls);
+    obs::add(options.telemetry, "podem.backtracks", podem_backtracks);
+    obs::add(options.telemetry, "podem.decisions", podem_decisions);
+    obs::add(options.telemetry, "podem.implications", podem_implications);
+    obs::add(options.telemetry, "sat.calls", result.sat_calls);
+    obs::add(options.telemetry, "atpg.patterns", result.patterns.size());
+    phase_span.arg("podem_calls", result.podem_calls);
+    phase_span.arg("sat_calls", result.sat_calls);
+    phase_span.arg("backtracks", podem_backtracks);
+    phase_span.arg("detected", result.detected);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "atpg/sat_atpg.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aidft {
 
@@ -40,6 +41,10 @@ struct AtpgOptions {
   /// Fault-campaign workers for the random phase (the bulk grading work);
   /// the deterministic phase's incremental dropping stays serial.
   std::size_t num_threads = 1;
+  /// Observability sink: null (default) = off. When set, the pipeline emits
+  /// `atpg.random_phase` / `atpg.deterministic_phase` spans and aggregates
+  /// `podem.*` / `sat.*` counters (flushed per engine call, not per event).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 enum class FaultStatus : std::uint8_t {

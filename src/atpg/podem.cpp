@@ -367,6 +367,7 @@ AtpgOutcome Podem::justify(GateId line, Val3 value, const PodemOptions& options)
       AIDFT_ASSERT(idx != std::numeric_limits<std::size_t>::max(),
                    "justify backtrace failed");
       decisions.push_back(Decision{idx, false});
+      ++out.decisions;
       assignment_[idx] = val;
       imply_good();
       continue;
@@ -460,6 +461,7 @@ AtpgOutcome Podem::generate(const Fault& fault, const PodemOptions& options) {
       const auto [idx, val] = backtrace(obj_gate, obj_val);
       AIDFT_ASSERT(idx != kNpos, "backtrace failed to find an input");
       decisions.push_back(Decision{idx, false});
+      ++out.decisions;
       assignment_[idx] = val;
       imply(fault);
       continue;

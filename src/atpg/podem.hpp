@@ -30,6 +30,7 @@ struct AtpgOutcome {
   AtpgStatus status = AtpgStatus::kAborted;
   TestCube cube;  // valid when status == kDetected (X = don't care)
   std::uint64_t backtracks = 0;
+  std::uint64_t decisions = 0;
   std::uint64_t implications = 0;
 };
 

@@ -21,6 +21,18 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
   SatSolver solver;
   CircuitCnf good(nl, solver);
 
+  // Solver stats are flushed into the sink after every solve() — one flush
+  // per CDCL run, never per conflict.
+  auto flush_stats = [&]() {
+    if (options.telemetry == nullptr) return;
+    const SatSolver::Stats& s = solver.stats();
+    obs::add(options.telemetry, "sat.solves");
+    obs::add(options.telemetry, "sat.conflicts", s.conflicts);
+    obs::add(options.telemetry, "sat.decisions", s.decisions);
+    obs::add(options.telemetry, "sat.propagations", s.propagations);
+    obs::add(options.telemetry, "sat.restarts", s.restarts);
+  };
+
   auto finish_model = [&]() {
     out.status = AtpgStatus::kDetected;
     out.cube = TestCube(comb_inputs_.size());
@@ -37,6 +49,7 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
     const Lit want = fault.stuck_at_one() ? ~good.lit(driver) : good.lit(driver);
     solver.add_unit(want);
     const SatResult res = solver.solve({}, options.conflict_limit);
+    flush_stats();
     if (res == SatResult::kSat) {
       finish_model();
     } else {
@@ -127,6 +140,7 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
   solver.add_clause(std::move(diffs));
 
   const SatResult res = solver.solve({}, options.conflict_limit);
+  flush_stats();
   if (res == SatResult::kSat) {
     finish_model();
   } else {

@@ -13,11 +13,15 @@
 #include "atpg/podem.hpp"  // AtpgOutcome/AtpgStatus
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 
 namespace aidft {
 
 struct SatAtpgOptions {
   std::int64_t conflict_limit = 200'000;  // <0 = unlimited
+  /// Optional sink for `sat.*` counters (solves, conflicts, decisions,
+  /// propagations, restarts), flushed once per solve. Null = off.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class SatAtpg {

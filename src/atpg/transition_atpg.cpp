@@ -2,6 +2,7 @@
 
 #include "atpg/sat_atpg.hpp"
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "netlist/scoap.hpp"
 #include "sat/cnf.hpp"
@@ -12,13 +13,22 @@ namespace {
 // SAT-based line justification: is there an input assignment with
 // `line` == value? Returns a fully specified cube on success.
 AtpgOutcome sat_justify(const Netlist& nl, GateId line, Val3 value,
-                        std::int64_t conflict_limit) {
+                        std::int64_t conflict_limit,
+                        obs::Telemetry* telemetry) {
   AtpgOutcome out;
   SatSolver solver;
   CircuitCnf cnf(nl, solver);
   const Lit l = cnf.lit(line);
   solver.add_unit(value == Val3::kOne ? l : ~l);
   const SatResult res = solver.solve({}, conflict_limit);
+  if (telemetry != nullptr) {
+    const SatSolver::Stats& s = solver.stats();
+    obs::add(telemetry, "sat.solves");
+    obs::add(telemetry, "sat.conflicts", s.conflicts);
+    obs::add(telemetry, "sat.decisions", s.decisions);
+    obs::add(telemetry, "sat.propagations", s.propagations);
+    obs::add(telemetry, "sat.restarts", s.restarts);
+  }
   if (res == SatResult::kUnsat) {
     out.status = AtpgStatus::kUntestable;
     return out;
@@ -52,11 +62,24 @@ TransitionAtpgResult generate_transition_tests(
   TransitionAtpgResult result;
   result.status.assign(faults.size(), FaultStatus::kUndetected);
 
+  obs::Span phase_span =
+      obs::span(options.telemetry, "atpg.transition", "atpg");
   const ScoapResult scoap = compute_scoap(nl);
   Podem podem(nl, &scoap);
   SatAtpg sat(nl);
-  const SatAtpgOptions sat_opts{options.sat_conflict_limit};
+  const SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry};
   Rng rng(options.seed);
+
+  std::uint64_t podem_calls = 0;
+  std::uint64_t podem_backtracks = 0;
+  std::uint64_t podem_decisions = 0;
+  std::uint64_t podem_implications = 0;
+  auto note_podem = [&](const AtpgOutcome& o) {
+    ++podem_calls;
+    podem_backtracks += o.backtracks;
+    podem_decisions += o.decisions;
+    podem_implications += o.implications;
+  };
 
   // Grades the accumulated pattern list against all not-yet-detected faults
   // (pairs form at consecutive indices; our interleaving guarantees each
@@ -72,8 +95,10 @@ TransitionAtpgResult generate_transition_tests(
       }
     }
     if (alive.empty()) return;
-    const CampaignResult r = run_campaign(nl, alive, result.patterns,
-                                          {.num_threads = options.num_threads});
+    const CampaignResult r =
+        run_campaign(nl, alive, result.patterns,
+                     {.num_threads = options.num_threads,
+                      .telemetry = options.telemetry});
     for (std::size_t k = 0; k < alive.size(); ++k) {
       if (r.first_detected_by[k] >= 0) {
         result.status[alive_idx[k]] = FaultStatus::kDetected;
@@ -96,6 +121,7 @@ TransitionAtpgResult generate_transition_tests(
     as_stuck.kind = FaultKind::kStuckAt;
     as_stuck.value = f.value ? 0 : 1;
     AtpgOutcome capture = podem.generate(as_stuck, options.podem);
+    note_podem(capture);
     if (capture.status == AtpgStatus::kAborted && options.sat_fallback) {
       capture = sat.generate(as_stuck, sat_opts);
     }
@@ -108,8 +134,10 @@ TransitionAtpgResult generate_transition_tests(
       continue;
     }
     AtpgOutcome launch = podem.justify(line, init, options.podem);
+    note_podem(launch);
     if (launch.status == AtpgStatus::kAborted && options.sat_fallback) {
-      launch = sat_justify(nl, line, init, options.sat_conflict_limit);
+      launch = sat_justify(nl, line, init, options.sat_conflict_limit,
+                           options.telemetry);
     }
     if (launch.status == AtpgStatus::kUntestable) {
       // The line can never hold the initial value: no transition possible.
@@ -147,8 +175,10 @@ TransitionAtpgResult generate_transition_tests(
       }
     }
     if (!regrade.empty() && !result.patterns.empty()) {
-      const CampaignResult r = run_campaign(
-          nl, regrade, result.patterns, {.num_threads = options.num_threads});
+      const CampaignResult r =
+          run_campaign(nl, regrade, result.patterns,
+                       {.num_threads = options.num_threads,
+                        .telemetry = options.telemetry});
       for (std::size_t k = 0; k < regrade.size(); ++k) {
         result.status[undecided[k]] = r.first_detected_by[k] >= 0
                                           ? FaultStatus::kDetected
@@ -161,6 +191,15 @@ TransitionAtpgResult generate_transition_tests(
     if (s == FaultStatus::kDetected) ++result.detected;
     if (s == FaultStatus::kUntestable) ++result.untestable;
     if (s == FaultStatus::kAborted) ++result.aborted;
+  }
+
+  if (options.telemetry != nullptr) {
+    obs::add(options.telemetry, "podem.calls", podem_calls);
+    obs::add(options.telemetry, "podem.backtracks", podem_backtracks);
+    obs::add(options.telemetry, "podem.decisions", podem_decisions);
+    obs::add(options.telemetry, "podem.implications", podem_implications);
+    phase_span.arg("pairs", result.patterns.size() / 2);
+    phase_span.arg("detected", result.detected);
   }
   return result;
 }

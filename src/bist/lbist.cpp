@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {
@@ -59,6 +60,11 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
   result.patterns = config.patterns;
   result.faults_total = faults.size();
 
+  obs::Span session_span =
+      obs::span(config.telemetry, "lbist.session", "bist");
+  obs::add(config.telemetry, "lbist.sessions");
+  obs::add(config.telemetry, "lbist.patterns", config.patterns);
+
   const std::size_t width = nl.combinational_inputs().size();
   Prpg prpg(config, width);
   std::vector<TestCube> patterns;
@@ -67,10 +73,16 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
     patterns.push_back(prpg.next_pattern());
   }
 
-  const CampaignResult campaign = run_campaign(
-      nl, faults, patterns, {.num_threads = config.num_threads});
+  const CampaignResult campaign =
+      run_campaign(nl, faults, patterns,
+                   {.num_threads = config.num_threads,
+                    .telemetry = config.telemetry});
   result.detected = campaign.detected;
   result.detected_after = campaign.detected_after;
+  if (session_span.active()) {
+    session_span.arg("patterns", config.patterns);
+    session_span.arg("detected", result.detected);
+  }
 
   // Golden signature: MISR over the observed response of every pattern.
   Misr misr(config.misr_bits);

@@ -14,6 +14,7 @@
 #include "compress/edt.hpp"  // Misr
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/pattern.hpp"
 
 namespace aidft {
@@ -24,6 +25,10 @@ struct LbistConfig {
   std::uint64_t seed = 0xB157;  // nonzero PRPG seed
   std::size_t misr_bits = 32;
   std::size_t num_threads = 1;  // fault-campaign workers for coverage grading
+  /// Observability sink: null (default) = off. Emits a `lbist.session` span
+  /// plus `lbist.sessions` / `lbist.patterns` counters; the coverage
+  /// campaign inherits the same sink.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Pseudo-random pattern generator: LFSR plus per-position phase-shifter

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {
@@ -14,6 +15,23 @@ CompressedSessionResult run_compressed_session(
   CompressedSessionResult result;
   result.cubes_offered = cubes.size();
   result.faults_total = faults.size();
+
+  obs::Span session_span =
+      obs::span(config.telemetry, "edt.session", "compress");
+  struct SpanFinish {
+    obs::Span* span;
+    const CompressedSessionResult* r;
+    obs::Telemetry* telemetry;
+    ~SpanFinish() {
+      if (telemetry == nullptr) return;
+      obs::add(telemetry, "edt.encode_attempts", r->cubes_offered);
+      obs::add(telemetry, "edt.cubes_encoded", r->cubes_encoded);
+      obs::add(telemetry, "edt.encode_failures", r->encode_failures);
+      span->arg("cubes", r->cubes_offered);
+      span->arg("encoded", r->cubes_encoded);
+      span->arg("failures", r->encode_failures);
+    }
+  } span_finish{&session_span, &result, config.telemetry};
 
   const std::size_t npi = nl.inputs().size();
   const std::size_t nffs = nl.dffs().size();
@@ -77,8 +95,10 @@ CompressedSessionResult run_compressed_session(
     std::vector<TestCube> baseline = cubes;
     Rng fill_rng(config.pi_fill_seed ^ 0xBA5E11FEull);
     for (auto& c : baseline) c.random_fill(fill_rng);
-    const CampaignResult r = run_campaign(nl, faults, baseline,
-                                          {.num_threads = config.num_threads});
+    const CampaignResult r =
+        run_campaign(nl, faults, baseline,
+                     {.num_threads = config.num_threads,
+                      .telemetry = config.telemetry});
     result.detected_baseline = r.detected;
   }
 

@@ -15,6 +15,7 @@
 #include "compress/edt.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 #include "scan/scan.hpp"
 
 namespace aidft {
@@ -24,6 +25,10 @@ struct CompressedSessionConfig {
   std::size_t out_channels = 2;  // response compactor width
   std::uint64_t pi_fill_seed = 7;
   std::size_t num_threads = 1;   // fault-campaign workers (baseline grading)
+  /// Observability sink: null (default) = off. Emits an `edt.session` span
+  /// plus `edt.encode_attempts` / `edt.encode_failures` / `edt.cubes_encoded`
+  /// counters; the baseline campaign inherits the same sink.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct CompressedSessionResult {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {
@@ -31,9 +32,19 @@ ChipFlowReport run_chip_flow(const Netlist& core, const ChipFlowOptions& options
   report.soc_faults = soc_faults.size();
   // The replicated-SoC universe is the biggest campaign in the toolkit —
   // exactly the case the sharded engine exists for.
-  const CampaignResult graded = run_campaign(soc.netlist, soc_faults,
-                                             broadcast, options.core_flow.campaign);
+  obs::Span soc_span =
+      obs::span(options.core_flow.telemetry, "chip.soc_grade", "flow");
+  CampaignOptions soc_campaign = options.core_flow.campaign;
+  soc_campaign.telemetry = options.core_flow.telemetry;
+  const CampaignResult graded =
+      run_campaign(soc.netlist, soc_faults, broadcast, soc_campaign);
   report.soc_detected = graded.detected;
+  if (soc_span.active()) {
+    soc_span.arg("cores", options.num_cores);
+    soc_span.arg("faults", soc_faults.size());
+    soc_span.arg("detected", graded.detected);
+  }
+  soc_span.end();
 
   // Test-time table.
   aichip::CoreTestSpec spec;

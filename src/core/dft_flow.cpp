@@ -3,66 +3,112 @@
 #include <sstream>
 
 #include "fault/fault.hpp"
+#include "obs/json.hpp"
 
 namespace aidft {
+namespace {
+
+// Runs one flow stage under a `flow.<name>` span and records its wall time
+// in the report. The clock read costs nothing worth gating, so
+// stage_seconds fills whether or not a telemetry sink is attached.
+template <typename Body>
+void run_stage(DftFlowReport& report, obs::Telemetry* telemetry,
+               const char* name, Body&& body) {
+  obs::Span stage_span = obs::span(telemetry, name, "flow");
+  obs::Stopwatch clock;
+  body();
+  report.stage_seconds.emplace_back(name, clock.seconds());
+}
+
+}  // namespace
 
 DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
   AIDFT_REQUIRE(nl.finalized(), "run_dft_flow requires finalized netlist");
   DftFlowReport report;
+  obs::Telemetry* telemetry = options.telemetry;
+  obs::Span flow_span = obs::span(telemetry, "flow.run", "flow");
   report.stats = compute_stats(nl);
 
   // Fault universe.
-  const auto universe = generate_stuck_at_faults(nl);
-  report.faults_total = universe.size();
-  const auto faults =
-      options.collapse_faults ? collapse_equivalent(nl, universe) : universe;
-  report.faults_collapsed = faults.size();
+  std::vector<Fault> faults;
+  run_stage(report, telemetry, "flow.fault_universe", [&] {
+    const auto universe = generate_stuck_at_faults(nl);
+    report.faults_total = universe.size();
+    faults =
+        options.collapse_faults ? collapse_equivalent(nl, universe) : universe;
+    report.faults_collapsed = faults.size();
+    obs::add(telemetry, "flow.faults_total", report.faults_total);
+    obs::add(telemetry, "flow.faults_collapsed", report.faults_collapsed);
+  });
 
   // Scan planning.
-  report.scan_plan = plan_scan_chains(nl, options.scan_chains);
+  run_stage(report, telemetry, "flow.scan_plan", [&] {
+    report.scan_plan = plan_scan_chains(nl, options.scan_chains);
+  });
 
   // One campaign worker count for every grading stage (see DftFlowOptions).
   const std::size_t num_threads = options.campaign.num_threads;
 
   // ATPG.
-  AtpgOptions atpg_opts = options.atpg;
-  atpg_opts.num_threads = num_threads;
-  report.atpg = generate_tests(nl, faults, atpg_opts);
-  report.scan_time.patterns = report.atpg.patterns.size();
-  report.scan_time.max_chain_length = report.scan_plan.max_chain_length();
+  run_stage(report, telemetry, "flow.atpg", [&] {
+    AtpgOptions atpg_opts = options.atpg;
+    atpg_opts.num_threads = num_threads;
+    atpg_opts.telemetry = telemetry;
+    report.atpg = generate_tests(nl, faults, atpg_opts);
+    report.scan_time.patterns = report.atpg.patterns.size();
+    report.scan_time.max_chain_length = report.scan_plan.max_chain_length();
+  });
 
   // Compression (deterministic cubes only — X density is the fuel).
   if (options.run_compression && !nl.dffs().empty() &&
       !report.atpg.cubes.empty()) {
     report.compression_ran = true;
-    CompressedSessionConfig compression_opts = options.compression;
-    compression_opts.num_threads = num_threads;
-    report.compression = run_compressed_session(
-        nl, report.scan_plan, faults, report.atpg.cubes, compression_opts);
+    run_stage(report, telemetry, "flow.compression", [&] {
+      CompressedSessionConfig compression_opts = options.compression;
+      compression_opts.num_threads = num_threads;
+      compression_opts.telemetry = telemetry;
+      report.compression = run_compressed_session(
+          nl, report.scan_plan, faults, report.atpg.cubes, compression_opts);
+    });
   }
 
   // LBIST sign-off.
   if (options.run_lbist) {
     report.lbist_ran = true;
-    LbistConfig lbist_opts = options.lbist;
-    lbist_opts.num_threads = num_threads;
-    report.lbist = run_lbist(nl, faults, lbist_opts);
+    run_stage(report, telemetry, "flow.lbist", [&] {
+      LbistConfig lbist_opts = options.lbist;
+      lbist_opts.num_threads = num_threads;
+      lbist_opts.telemetry = telemetry;
+      report.lbist = run_lbist(nl, faults, lbist_opts);
+    });
   }
 
   // Transition-delay test on the same collapsed lines.
   if (options.run_transition) {
     report.transition_ran = true;
-    TransitionAtpgOptions transition_opts = options.transition;
-    transition_opts.num_threads = num_threads;
-    const auto tfaults = generate_transition_faults(nl);
-    report.transition = generate_transition_tests(nl, tfaults, transition_opts);
+    run_stage(report, telemetry, "flow.transition", [&] {
+      TransitionAtpgOptions transition_opts = options.transition;
+      transition_opts.num_threads = num_threads;
+      transition_opts.telemetry = telemetry;
+      const auto tfaults = generate_transition_faults(nl);
+      report.transition =
+          generate_transition_tests(nl, tfaults, transition_opts);
+    });
   }
 
   // Shift-power accounting of the shipped stuck-at patterns.
   if (options.run_power && !nl.dffs().empty() &&
       !report.atpg.patterns.empty()) {
     report.power_ran = true;
-    report.power = shift_power(nl, report.scan_plan, report.atpg.patterns);
+    run_stage(report, telemetry, "flow.power", [&] {
+      report.power = shift_power(nl, report.scan_plan, report.atpg.patterns);
+    });
+  }
+
+  if (telemetry != nullptr) {
+    flow_span.arg("stages", report.stage_seconds.size());
+    flow_span.end();
+    report.metrics = telemetry->metrics.snapshot();
   }
   return report;
 }
@@ -106,6 +152,97 @@ std::string DftFlowReport::to_string() const {
        << power.peak_wtm_pattern << "\n";
   }
   return ss.str();
+}
+
+std::string DftFlowReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+
+  w.key("design").begin_object();
+  w.field("gates", stats.num_gates);
+  w.field("logic_gates", stats.num_logic_gates);
+  w.field("inputs", stats.num_inputs);
+  w.field("outputs", stats.num_outputs);
+  w.field("dffs", stats.num_dffs);
+  w.field("depth", static_cast<std::uint64_t>(stats.depth));
+  w.field("max_fanout", stats.max_fanout);
+  w.field("avg_fanin", stats.avg_fanin);
+  w.end_object();
+
+  w.key("faults").begin_object();
+  w.field("total", faults_total);
+  w.field("collapsed", faults_collapsed);
+  w.end_object();
+
+  w.key("scan").begin_object();
+  w.field("chains", scan_plan.num_chains());
+  w.field("max_chain_length", scan_plan.max_chain_length());
+  w.field("uncompressed_cycles", scan_time.cycles());
+  w.end_object();
+
+  w.key("atpg").begin_object();
+  w.field("patterns", atpg.patterns.size());
+  w.field("cubes", atpg.cubes.size());
+  w.field("detected", atpg.detected);
+  w.field("untestable", atpg.untestable);
+  w.field("aborted", atpg.aborted);
+  w.field("random_phase_detected", atpg.random_phase_detected);
+  w.field("podem_calls", atpg.podem_calls);
+  w.field("sat_calls", atpg.sat_calls);
+  w.field("fault_coverage", atpg.fault_coverage());
+  w.field("test_coverage", atpg.test_coverage());
+  w.end_object();
+
+  if (compression_ran) {
+    w.key("compression").begin_object();
+    w.field("cubes_offered", compression.cubes_offered);
+    w.field("cubes_encoded", compression.cubes_encoded);
+    w.field("encode_failures", compression.encode_failures);
+    w.field("stimulus_compression", compression.stimulus_compression);
+    w.field("response_compression", compression.response_compression);
+    w.field("coverage_baseline", compression.coverage_baseline());
+    w.field("coverage_ideal", compression.coverage_ideal());
+    w.field("coverage_compacted", compression.coverage_compacted());
+    w.end_object();
+  }
+
+  if (lbist_ran) {
+    w.key("lbist").begin_object();
+    w.field("patterns", lbist.patterns);
+    w.field("detected", lbist.detected);
+    w.field("coverage", lbist.coverage());
+    w.end_object();
+  }
+
+  if (transition_ran) {
+    w.key("transition").begin_object();
+    w.field("patterns", transition.patterns.size());
+    w.field("detected", transition.detected);
+    w.field("untestable", transition.untestable);
+    w.field("aborted", transition.aborted);
+    w.field("fault_coverage", transition.fault_coverage());
+    w.field("test_coverage", transition.test_coverage());
+    w.end_object();
+  }
+
+  if (power_ran) {
+    w.key("power").begin_object();
+    w.field("avg_wtm_per_pattern", power.avg_wtm_per_pattern);
+    w.field("peak_wtm_pattern", power.peak_wtm_pattern);
+    w.end_object();
+  }
+
+  w.key("stage_seconds").begin_object();
+  for (const auto& [stage, seconds] : stage_seconds) {
+    w.field(stage, seconds);
+  }
+  w.end_object();
+
+  // MetricsSnapshot::to_json emits a complete JSON object, spliced verbatim.
+  w.key("metrics").raw(metrics.to_json());
+
+  w.end_object();
+  return std::move(w).take();
 }
 
 }  // namespace aidft

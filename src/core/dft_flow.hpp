@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "atpg/atpg.hpp"
 #include "atpg/transition_atpg.hpp"
@@ -16,6 +18,7 @@
 #include "fsim/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/stats.hpp"
+#include "obs/telemetry.hpp"
 #include "scan/power.hpp"
 #include "scan/scan.hpp"
 
@@ -44,6 +47,11 @@ struct DftFlowOptions {
   TransitionAtpgOptions transition;
   bool run_power = true;         // WTM of the final stuck-at pattern set
   PowerStageOptions power;
+  /// Observability sink: null (the default) = telemetry off at near-zero
+  /// cost. When set, the facade emits one `flow.<stage>` span per stage,
+  /// threads the sink through every stage (ATPG, campaigns, EDT, LBIST,
+  /// transition), and snapshots all counters into DftFlowReport::metrics.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct DftFlowReport {
@@ -61,9 +69,19 @@ struct DftFlowReport {
   TransitionAtpgResult transition;
   bool power_ran = false;
   ShiftPowerReport power;
+  /// Wall-clock per executed stage, in flow order (stage name, seconds).
+  /// Filled unconditionally — timing costs one clock read per stage.
+  std::vector<std::pair<std::string, double>> stage_seconds;
+  /// Counter/gauge/histogram snapshot taken at flow end when a telemetry
+  /// sink was attached; empty otherwise.
+  obs::MetricsSnapshot metrics;
 
   /// Multi-line summary suitable for printing.
   std::string to_string() const;
+
+  /// Machine-readable report: design stats, per-stage results, stage wall
+  /// times, and the metrics snapshot, as a single JSON object.
+  std::string to_json() const;
 };
 
 /// Runs the full flow on a finalized netlist.

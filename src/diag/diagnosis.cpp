@@ -44,9 +44,12 @@ FailLog simulate_defect(const Netlist& nl, const std::vector<TestCube>& patterns
 }
 
 DiagnosisResult diagnose(const Netlist& nl, const std::vector<TestCube>& patterns,
-                         const FailLog& log, const std::vector<Fault>& candidates) {
+                         const FailLog& log, const std::vector<Fault>& candidates,
+                         obs::Telemetry* telemetry) {
   AIDFT_REQUIRE(log.num_patterns == patterns.size(),
                 "fail log does not match pattern set");
+  obs::Span diag_span = obs::span(telemetry, "diag.diagnose", "diag");
+  obs::add(telemetry, "diag.candidates_scored", candidates.size());
   DiagnosisResult result;
   FaultSimulator fsim(nl);
   std::vector<DiagnosisCandidate> scored(candidates.size());
@@ -89,6 +92,11 @@ DiagnosisResult diagnose(const Netlist& nl, const std::vector<TestCube>& pattern
               return a.fault.value < b.fault.value;
             });
   result.ranked = std::move(scored);
+  if (diag_span.active()) {
+    diag_span.arg("candidates", candidates.size());
+    diag_span.arg("ranked", result.ranked.size());
+    obs::add(telemetry, "fsim.events", fsim.events_simulated());
+  }
   return result;
 }
 
@@ -111,7 +119,10 @@ MultiDiagnosisResult diagnose_multiplet(const Netlist& nl,
                                         const std::vector<TestCube>& patterns,
                                         const FailLog& log,
                                         const std::vector<Fault>& candidates,
-                                        std::size_t max_defects) {
+                                        std::size_t max_defects,
+                                        obs::Telemetry* telemetry) {
+  obs::Span diag_span = obs::span(telemetry, "diag.multiplet", "diag");
+  obs::add(telemetry, "diag.candidates_scored", candidates.size());
   MultiDiagnosisResult result;
 
   // Predicted fail sets per candidate (computed once).
@@ -194,6 +205,11 @@ MultiDiagnosisResult diagnose_multiplet(const Netlist& nl,
   }
   result.unexplained = left;
   result.explained = total_events - left;
+  if (diag_span.active()) {
+    diag_span.arg("candidates", candidates.size());
+    diag_span.arg("selected", result.selected.size());
+    obs::add(telemetry, "fsim.events", fsim.events_simulated());
+  }
   return result;
 }
 

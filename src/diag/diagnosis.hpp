@@ -15,6 +15,7 @@
 
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/pattern.hpp"
 
 namespace aidft {
@@ -55,10 +56,13 @@ struct DiagnosisResult {
 
 /// Ranks `candidates` against the fail log. Candidates whose simulated
 /// behaviour shares no failing pattern with the log are pruned early.
+/// `telemetry` (optional; null = off) gets a `diag.diagnose` span and
+/// `diag.candidates_scored` counter.
 DiagnosisResult diagnose(const Netlist& netlist,
                          const std::vector<TestCube>& patterns,
                          const FailLog& log,
-                         const std::vector<Fault>& candidates);
+                         const std::vector<Fault>& candidates,
+                         obs::Telemetry* telemetry = nullptr);
 
 /// Simulates a chip carrying SEVERAL independent stuck-at defects (their
 /// effects superpose per pattern — each defect simulated separately and the
@@ -83,6 +87,7 @@ MultiDiagnosisResult diagnose_multiplet(const Netlist& netlist,
                                         const std::vector<TestCube>& patterns,
                                         const FailLog& log,
                                         const std::vector<Fault>& candidates,
-                                        std::size_t max_defects = 4);
+                                        std::size_t max_defects = 4,
+                                        obs::Telemetry* telemetry = nullptr);
 
 }  // namespace aidft

@@ -136,13 +136,30 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
   const std::size_t num_threads =
       std::min(resolve_threads(options.num_threads), faults.size());
 
+  obs::Telemetry* telemetry = options.telemetry;
+  obs::Span run_span = obs::span(telemetry, "campaign.run", "campaign");
+  if (run_span.active()) {
+    run_span.arg("faults", faults.size());
+    run_span.arg("patterns", patterns.size());
+    run_span.arg("workers", num_threads);
+  }
+  obs::add(telemetry, "campaign.runs");
+  obs::add(telemetry, "campaign.faults", faults.size());
+  obs::add(telemetry, "campaign.patterns", patterns.size());
+
   // Workers write only first_detected_by[i] for i inside their own shard, so
   // the merge of per-shard results is race-free; the min-pattern-index rule
   // holds trivially because each fault has a single owner that scans batches
   // in stream order.
-  parallel_for(num_threads, faults.size(), [&](std::size_t /*shard*/,
+  parallel_for(num_threads, faults.size(), [&](std::size_t shard,
                                                std::size_t begin,
                                                std::size_t end) {
+    obs::Span shard_span =
+        obs::span(telemetry, "campaign.shard", "campaign");
+    obs::Stopwatch shard_clock;
+    std::size_t batches_run = 0;
+    std::size_t dropped_here = 0;
+
     FaultSimulator fsim(nl);
     std::vector<std::size_t> alive;
     alive.reserve(end - begin);
@@ -151,6 +168,7 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
 
     for (std::size_t b = 0; b < capture.size() && !alive.empty(); ++b) {
       if (drops.campaign_done()) break;  // cross-shard early exit
+      ++batches_run;
       fsim.load_batch(capture[b]);
       if (!launch.empty()) {
         bool shard_needs_launch = false;
@@ -176,6 +194,7 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
               static_cast<std::size_t>(__builtin_popcountll(mask));
           if (options.drop_limit != 0 && hits[i - begin] >= options.drop_limit) {
             drops.drop(i);
+            ++dropped_here;
             continue;
           }
         }
@@ -186,9 +205,25 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
     // Shard exhausted the stream: retire the survivors so campaign_done()
     // converges for the other shards.
     for (std::size_t i : alive) drops.drop(i);
+
+    // Telemetry is flushed once per shard — the hot loop above only bumps
+    // plain locals (and FaultSimulator's event tally).
+    if (telemetry != nullptr) {
+      obs::add(telemetry, "campaign.batches", batches_run);
+      obs::add(telemetry, "campaign.faults_dropped", dropped_here);
+      obs::add(telemetry, "fsim.events", fsim.events_simulated());
+      obs::observe(telemetry, "campaign.shard_us", shard_clock.micros());
+      shard_span.arg("shard", shard);
+      shard_span.arg("faults", end - begin);
+      shard_span.arg("batches", batches_run);
+      shard_span.arg("dropped", dropped_here);
+      shard_span.arg("fsim_events", fsim.events_simulated());
+    }
   });
 
   finalize_result(r, patterns.size());
+  obs::add(telemetry, "campaign.faults_detected", r.detected);
+  if (run_span.active()) run_span.arg("detected", r.detected);
   return r;
 }
 

@@ -32,6 +32,7 @@
 #include "fault/bridging.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/pattern.hpp"
 
 namespace aidft {
@@ -50,6 +51,11 @@ struct CampaignOptions {
   /// many pattern lanes (1 = classic first-detect dropping, the default;
   /// 0 = never drop, grading every fault against every pattern).
   std::size_t drop_limit = 1;
+  /// Observability sink (see obs/telemetry.hpp): null (the default) turns
+  /// telemetry off at near-zero cost. When set, the campaign emits one
+  /// `campaign.shard` span per worker (thread imbalance is visible on the
+  /// trace timeline) plus `campaign.*` / `fsim.events` counters.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Result of grading a pattern set against a fault list.

@@ -65,6 +65,7 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
   };
 
   const std::uint64_t stuck_word = fault.stuck_at_one() ? ~0ull : 0ull;
+  ++events_;  // the injection itself
 
   auto record_diff = [&](GateId og, std::uint64_t diff) {
     if (op_diffs == nullptr) return;
@@ -130,6 +131,7 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const GateId id = bucket[i];
       queued_[id] = false;
+      ++events_;
       const Gate& g = nl.gate(id);
       std::uint64_t nv = eval_gate_words(
           g.type, g.fanin.size(),
@@ -248,6 +250,7 @@ std::uint64_t FaultSimulator::detect_mask_bridging(const BridgingFault& fault) {
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const GateId id = bucket[i];
       queued_[id] = false;
+      ++events_;
       // Bridged nets hold their forced value regardless of reconvergence
       // (no path can exist between same-level nets, but be safe).
       if (id == fault.a || id == fault.b) continue;

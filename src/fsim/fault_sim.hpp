@@ -16,12 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "fault/bridging.hpp"
 #include "fault/fault.hpp"
-#include "fsim/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/parallel_sim.hpp"
 
@@ -72,6 +70,12 @@ class FaultSimulator {
   /// faults), from the loaded batch.
   std::uint64_t line_value(const Fault& fault) const;
 
+  /// Lifetime count of faulty-machine events this simulator processed (fault
+  /// injections plus event-driven gate evaluations). A plain member tally —
+  /// campaign workers own a private simulator and flush it into the
+  /// `fsim.events` counter at shard end, keeping the hot loop atomic-free.
+  std::uint64_t events_simulated() const { return events_; }
+
   const Netlist& netlist() const { return *netlist_; }
 
  private:
@@ -90,6 +94,7 @@ class FaultSimulator {
   // Per-fault propagation scratch (epoch-tagged faulty values).
   std::vector<std::uint64_t> faulty_;
   std::vector<std::uint32_t> epoch_;
+  std::uint64_t events_ = 0;
   std::uint32_t cur_epoch_ = 0;
   std::vector<std::vector<GateId>> buckets_;  // levelized work queue
   std::vector<bool> queued_;
@@ -98,40 +103,5 @@ class FaultSimulator {
   // by several points, e.g. a net driving a PO marker and a flop D pin).
   std::vector<std::vector<std::uint32_t>> op_index_of_gate_;
 };
-
-// ── Deprecated campaign entry points ────────────────────────────────────
-// The three free-function campaigns were unified behind run_campaign() in
-// fsim/campaign.hpp, which adds engine selection, multithreading, and an
-// n-detect drop limit. Migration:
-//   run_fault_campaign(nl, f, p)            -> run_campaign(nl, f, p)
-//   run_fault_campaign_reference(nl, f, p)  -> run_campaign(nl, f, p,
-//                                   {.engine = CampaignEngine::kReference})
-//   run_bridging_campaign(nl, f, p)         -> run_campaign(nl, f, p)
-// These wrappers keep out-of-tree callers compiling and will be removed in
-// a future release.
-
-[[deprecated("use run_campaign() from fsim/campaign.hpp")]]
-inline CampaignResult run_fault_campaign(const Netlist& netlist,
-                                         std::span<const Fault> faults,
-                                         const std::vector<TestCube>& patterns) {
-  return run_campaign(netlist, faults, patterns);
-}
-
-[[deprecated(
-    "use run_campaign() with CampaignEngine::kReference from "
-    "fsim/campaign.hpp")]]
-inline CampaignResult run_fault_campaign_reference(
-    const Netlist& netlist, std::span<const Fault> faults,
-    const std::vector<TestCube>& patterns) {
-  return run_campaign(netlist, faults, patterns,
-                      {.engine = CampaignEngine::kReference});
-}
-
-[[deprecated("use run_campaign() from fsim/campaign.hpp")]]
-inline CampaignResult run_bridging_campaign(
-    const Netlist& netlist, std::span<const BridgingFault> faults,
-    const std::vector<TestCube>& patterns) {
-  return run_campaign(netlist, faults, patterns);
-}
 
 }  // namespace aidft

@@ -1,0 +1,266 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// JsonWriter builds a JSON document as a flat string with comma/nesting
+// bookkeeping, so metrics snapshots, trace exports, and flow reports all
+// serialize through one escaping-correct path instead of ad-hoc ostream
+// concatenation. json_valid() is a strict structural validator used by
+// tests (and available to tools) to prove an export round-trips.
+//
+// Deliberately not a DOM: the toolkit only ever writes JSON it just
+// computed and checks JSON it just wrote, so a streaming writer plus a
+// validating scanner covers every need dependency-free.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aidft::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes not included).
+inline void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("n").value(3).key("xs").begin_array()
+///    .value("a").end_array().end_object();
+///   std::string doc = std::move(w).take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    json_escape(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_ += '"';
+    json_escape(out_, v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no inf/nan
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// Emits `v` verbatim — `v` must itself be valid JSON (used for trace args
+  /// whose values were pre-serialized).
+  JsonWriter& raw(std::string_view v) {
+    comma();
+    out_ += v;
+    return *this;
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    return key(k).value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() && { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    needs_comma_.pop_back();
+    out_ += c;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // the value that follows a key takes no comma
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ',';
+      needs_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
+
+namespace detail {
+
+struct JsonScanner {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) != lit) return false;
+    i += lit.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            if (i >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s[i++]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    std::size_t digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) {
+      i = start;
+      return false;
+    }
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return false;
+      }
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return false;
+      }
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    }
+    return true;
+  }
+  bool value(int depth) {
+    if (depth > 256) return false;
+    ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      if (eat('}')) return true;
+      do {
+        ws();
+        if (!string()) return false;
+        if (!eat(':')) return false;
+        if (!value(depth + 1)) return false;
+      } while (eat(','));
+      return eat('}');
+    }
+    if (c == '[') {
+      ++i;
+      if (eat(']')) return true;
+      do {
+        if (!value(depth + 1)) return false;
+      } while (eat(','));
+      return eat(']');
+    }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+};
+
+}  // namespace detail
+
+/// Strict structural validation of a complete JSON document.
+inline bool json_valid(std::string_view text) {
+  detail::JsonScanner sc{text};
+  if (!sc.value(0)) return false;
+  sc.ws();
+  return sc.i == text.size();
+}
+
+}  // namespace aidft::obs

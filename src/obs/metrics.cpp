@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace aidft::obs {
+
+std::uint64_t Histogram::bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (1ull << b) - 1;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kCounter;
+    e.value = static_cast<std::int64_t>(c->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kGauge;
+    e.value = g->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kHistogram;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.buckets.reserve(Histogram::kBuckets);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      e.buckets.push_back(h->bucket_count(b));
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    std::string_view name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const Entry* e = find(name);
+  return (e != nullptr && e->kind == Kind::kCounter)
+             ? static_cast<std::uint64_t>(e->value)
+             : 0;
+}
+
+std::size_t MetricsSnapshot::counter_count() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries) n += e.kind == Kind::kCounter;
+  return n;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const Entry& e : entries) {
+    if (e.kind == Kind::kCounter) {
+      w.field(e.name, static_cast<std::uint64_t>(e.value));
+    }
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const Entry& e : entries) {
+    if (e.kind == Kind::kGauge) w.field(e.name, e.value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const Entry& e : entries) {
+    if (e.kind != Kind::kHistogram) continue;
+    w.key(e.name).begin_object();
+    w.field("count", e.count).field("sum", e.sum);
+    w.key("buckets").begin_array();
+    for (std::uint64_t b : e.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).take();
+}
+
+}  // namespace aidft::obs

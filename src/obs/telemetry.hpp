@@ -1,0 +1,72 @@
+// Telemetry — the one handle the DFT stages thread around.
+//
+// A Telemetry bundles the metrics registry and the trace collector; every
+// stage option struct carries a `obs::Telemetry* telemetry` that defaults
+// to nullptr, which means OFF. The null-safe free functions below make the
+// disabled path near-zero cost: one pointer compare, no clock read, no
+// string handling, no allocation. Modules with per-event hot loops keep a
+// plain local tally and flush it through add() at a boundary (batch end,
+// shard end) instead of touching an atomic per event.
+//
+// Ownership: the caller owns the Telemetry (stack or static); the toolkit
+// never allocates or frees one. A single Telemetry may be shared by every
+// stage of a flow — that is the point: one flat counter namespace and one
+// timeline per sign-off run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aidft::obs {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  TraceCollector trace;
+};
+
+/// Bumps counter `name` by `delta`; no-op when `t` is null. Registers the
+/// name even when delta == 0, so a snapshot shows the full schema.
+inline void add(Telemetry* t, std::string_view name, std::uint64_t delta = 1) {
+  if (t != nullptr) t->metrics.counter(name).add(delta);
+}
+
+inline void set_gauge(Telemetry* t, std::string_view name, std::int64_t v) {
+  if (t != nullptr) t->metrics.gauge(name).set(v);
+}
+
+inline void observe(Telemetry* t, std::string_view name, std::uint64_t v) {
+  if (t != nullptr) t->metrics.histogram(name).observe(v);
+}
+
+/// Opens a scoped span on `t`'s trace collector; inactive (free) when `t`
+/// is null.
+inline Span span(Telemetry* t, std::string_view name,
+                 std::string_view cat = "") {
+  return t != nullptr ? Span(&t->trace, name, cat) : Span();
+}
+
+/// Wall-clock stopwatch (steady clock), for stage timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aidft::obs

@@ -1,0 +1,176 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace aidft::obs {
+namespace {
+
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local cache of (collector id -> that thread's buffer). Keyed by a
+// never-reused id rather than the collector pointer so a collector allocated
+// at a dead collector's address cannot alias a stale cache entry.
+struct TlsEntry {
+  std::uint64_t collector_id;
+  void* buffer;
+};
+thread_local std::vector<TlsEntry> tls_buffers;
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()), id_(next_collector_id()) {}
+
+std::uint64_t TraceCollector::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  for (const TlsEntry& e : tls_buffers) {
+    if (e.collector_id == id_) return *static_cast<ThreadBuffer*>(e.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buf = *buffers_.back();
+  buf.tid = static_cast<std::uint32_t>(buffers_.size());
+  tls_buffers.push_back({id_, &buf});
+  return buf;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  ThreadBuffer& buf = local_buffer();
+  event.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;  // parents before children at equal start
+  });
+  return all;
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const std::vector<TraceEvent> all = events();
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : all) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.cat.empty() ? std::string_view("aidft")
+                                 : std::string_view(e.cat));
+    w.field("ph", "X");
+    w.field("ts", e.start_us);
+    w.field("dur", e.dur_us);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::uint64_t>(e.tid));
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [k, v] : e.args) w.key(k).raw(v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+bool TraceCollector::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_chrome_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Span::Span(TraceCollector* collector, std::string_view name,
+           std::string_view cat)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  event_.name.assign(name);
+  event_.cat.assign(cat);
+  event_.start_us = collector_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : collector_(other.collector_), event_(std::move(other.event_)) {
+  other.collector_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    collector_ = other.collector_;
+    event_ = std::move(other.event_);
+    other.collector_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (collector_ == nullptr) return;
+  std::string json = "\"";
+  json_escape(json, value);
+  json += '"';
+  event_.args.emplace_back(std::string(key), std::move(json));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (collector_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (collector_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (collector_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  event_.args.emplace_back(std::string(key), std::string(buf));
+}
+
+void Span::end() {
+  if (collector_ == nullptr) return;
+  event_.dur_us = collector_->now_us() - event_.start_us;
+  collector_->record(std::move(event_));
+  collector_ = nullptr;
+  event_ = TraceEvent{};
+}
+
+}  // namespace aidft::obs

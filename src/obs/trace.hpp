@@ -1,0 +1,120 @@
+// Scoped-span tracing with Chrome trace-event export (Perfetto-viewable).
+//
+// A Span is an RAII complete event ("ph":"X"): construction stamps the
+// start time, destruction stamps the duration and appends the event to the
+// *constructing thread's* buffer — one mutex-protected vector per thread,
+// registered with the collector on that thread's first span. Per-thread
+// buffers mean worker threads never contend with each other while tracing
+// (the buffer mutex is only ever contested by an export), and the exported
+// trace keeps real thread identity, which is exactly what makes campaign
+// shard imbalance visible on the Perfetto timeline.
+//
+// An inactive Span (default-constructed, or from a null collector) costs a
+// null check and skips the clock read — the disabled-telemetry no-op path.
+//
+// Export: to_chrome_json() / write_chrome_json() produce the Chrome
+// trace-event format ({"traceEvents":[...]}); open the file in
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aidft::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t start_us = 0;  // since collector construction
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;  // collector-local stable thread number
+  /// key -> pre-serialized JSON value (string args arrive quoted+escaped,
+  /// numeric args as bare literals) so export is pure concatenation.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Microseconds since the collector was constructed.
+  std::uint64_t now_us() const;
+
+  /// Appends a finished event to the calling thread's buffer.
+  void record(TraceEvent event);
+
+  /// Copy of every event recorded so far, sorted by (start, duration desc)
+  /// so parents precede their children.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t event_count() const;
+
+  /// Chrome trace-event JSON document.
+  std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t id_ = 0;  // process-unique, never reused (thread-cache key)
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII scoped span. Movable (so factory helpers can return one), not
+/// copyable. arg() attaches key/value annotations that show up in the
+/// Perfetto slice details pane.
+class Span {
+ public:
+  Span() = default;  // inactive
+  Span(TraceCollector* collector, std::string_view name,
+       std::string_view cat = "");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { end(); }
+
+  bool active() const { return collector_ != nullptr; }
+
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, const char* value) {
+    arg(key, std::string_view(value));
+  }
+  void arg(std::string_view key, std::uint64_t value);
+  void arg(std::string_view key, std::int64_t value);
+  void arg(std::string_view key, unsigned value) {
+    arg(key, static_cast<std::uint64_t>(value));
+  }
+  void arg(std::string_view key, int value) {
+    arg(key, static_cast<std::int64_t>(value));
+  }
+  void arg(std::string_view key, double value);
+
+  /// Records the event now instead of at destruction; the span becomes
+  /// inactive.
+  void end();
+
+ private:
+  TraceCollector* collector_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace aidft::obs

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
 #include "atpg/atpg.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "sim/event_sim.hpp"
 

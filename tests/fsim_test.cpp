@@ -1,3 +1,4 @@
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 #include <gtest/gtest.h>

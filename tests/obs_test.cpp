@@ -1,0 +1,345 @@
+// Observability subsystem: metrics exactness under threads, trace export
+// round-trip, the disabled-telemetry no-op contract, and the instrumented
+// DFT flow end to end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/dft_flow.hpp"
+#include "fault/fault.hpp"
+#include "fsim/campaign.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "sim/pattern.hpp"
+
+namespace aidft {
+namespace {
+
+// ---- metrics ----------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add();
+  reg.counter("a").add(41);
+  reg.gauge("g").set(-5);
+  reg.histogram("h").observe(0);
+  reg.histogram("h").observe(1);
+  reg.histogram("h").observe(1000);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("a"), 42u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  const auto* g = snap.find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, -5);
+  const auto* h = snap.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 1001u);
+  EXPECT_EQ(h->buckets[obs::Histogram::bucket_of(0)], 1u);
+  EXPECT_EQ(h->buckets[obs::Histogram::bucket_of(1)], 1u);
+  EXPECT_EQ(h->buckets[obs::Histogram::bucket_of(1000)], 1u);
+}
+
+TEST(Metrics, HistogramBucketPlacement) {
+  // Bucket 0 = {0}; bucket b counts [2^(b-1), 2^b).
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4u);
+  // The last bucket absorbs overflow.
+  EXPECT_EQ(obs::Histogram::bucket_of(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST(Metrics, ExactTotalsUnderThreads) {
+  // 8 workers hammer the SAME instruments; relaxed atomics must still give
+  // exact totals.
+  obs::MetricsRegistry reg;
+  obs::Counter& counter = reg.counter("hits");
+  obs::Histogram& hist = reg.histogram("lat");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerItem = 1000;
+  constexpr std::size_t kItems = 64;
+
+  parallel_for(kThreads, kItems,
+               [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   for (std::size_t k = 0; k < kPerItem; ++k) {
+                     counter.add();
+                     hist.observe(i);
+                   }
+                   reg.gauge("last").set(static_cast<std::int64_t>(i));
+                 }
+               });
+
+  EXPECT_EQ(counter.value(), kItems * kPerItem);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("hits"), kItems * kPerItem);
+  const auto* h = snap.find("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kItems * kPerItem);
+}
+
+TEST(Metrics, ConcurrentNameCreation) {
+  // Find-or-create races on the registry map must yield one instrument per
+  // name with exact totals.
+  obs::MetricsRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kNames = 32;
+  constexpr std::size_t kReps = 200;
+  parallel_for(kThreads, kThreads,
+               [&](std::size_t, std::size_t begin, std::size_t end) {
+                 for (std::size_t t = begin; t < end; ++t) {
+                   for (std::size_t r = 0; r < kReps; ++r) {
+                     for (std::size_t n = 0; n < kNames; ++n) {
+                       reg.counter("c" + std::to_string(n)).add();
+                     }
+                   }
+                 }
+               });
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_count(), kNames);
+  for (std::size_t n = 0; n < kNames; ++n) {
+    EXPECT_EQ(snap.counter_value("c" + std::to_string(n)), kThreads * kReps);
+  }
+}
+
+TEST(Metrics, SnapshotJsonIsValid) {
+  obs::MetricsRegistry reg;
+  reg.counter("with \"quotes\"\n").add(3);
+  reg.gauge("g").set(-7);
+  reg.histogram("h").observe(12);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("counters"), std::string::npos);
+  EXPECT_NE(json.find("gauges"), std::string::npos);
+  EXPECT_NE(json.find("histograms"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.reset();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_count(), 1u);
+  EXPECT_EQ(snap.counter_value("c"), 0u);
+}
+
+// ---- tracing ----------------------------------------------------------
+
+TEST(Trace, NestedSpansRoundTrip) {
+  obs::TraceCollector collector;
+  {
+    obs::Span outer(&collector, "outer", "test");
+    outer.arg("label", "a \"quoted\" value");
+    outer.arg("n", std::uint64_t{42});
+    {
+      obs::Span inner(&collector, "inner", "test");
+      inner.arg("x", 1.5);
+    }
+  }
+  ASSERT_EQ(collector.event_count(), 2u);
+  const auto events = collector.events();
+  // Sorted parent-first: outer starts no later and lasts no shorter.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+  // Same thread recorded both.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Trace, MultiThreadedSpansKeepThreadIdentity) {
+  obs::TraceCollector collector;
+  constexpr std::size_t kThreads = 8;
+  parallel_for(kThreads, kThreads,
+               [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   obs::Span s(&collector, "work", "test");
+                   s.arg("shard", shard);
+                 }
+               });
+  EXPECT_EQ(collector.event_count(), kThreads);
+  const auto events = collector.events();
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  // Each chunk records from whichever pool thread ran it; no event may be
+  // lost and tids must stay in the collector's dense 1..N range. (Exact
+  // thread spread is scheduler-dependent — a fast worker can drain several
+  // chunks — so only the bounds are asserted.)
+  EXPECT_GE(tids.size(), 1u);
+  EXPECT_LE(tids.size(), kThreads + 1);  // +1: the registering main thread
+  for (std::uint32_t t : tids) {
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, kThreads + 1);
+  }
+  EXPECT_TRUE(obs::json_valid(collector.to_chrome_json()));
+}
+
+TEST(Trace, EarlyEndAndMove) {
+  obs::TraceCollector collector;
+  obs::Span s(&collector, "explicit", "test");
+  EXPECT_TRUE(s.active());
+  obs::Span moved = std::move(s);
+  EXPECT_FALSE(s.active());  // NOLINT(bugprone-use-after-move): contract test
+  EXPECT_TRUE(moved.active());
+  moved.end();
+  EXPECT_FALSE(moved.active());
+  moved.end();  // double end is a no-op
+  EXPECT_EQ(collector.event_count(), 1u);
+}
+
+TEST(Trace, WriteChromeJsonFile) {
+  obs::TraceCollector collector;
+  { obs::Span s(&collector, "filed", "test"); }
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(collector.write_chrome_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_TRUE(obs::json_valid(content)) << content;
+  EXPECT_NE(content.find("filed"), std::string::npos);
+}
+
+// ---- disabled-telemetry no-op path ------------------------------------
+
+TEST(Telemetry, NullSinkIsNoOp) {
+  obs::Telemetry* none = nullptr;
+  obs::add(none, "x");
+  obs::add(none, "x", 100);
+  obs::set_gauge(none, "g", 7);
+  obs::observe(none, "h", 3);
+  obs::Span s = obs::span(none, "dead", "test");
+  EXPECT_FALSE(s.active());
+  s.arg("k", std::uint64_t{1});  // must not crash
+  s.end();
+  SUCCEED();
+}
+
+TEST(Telemetry, CampaignWithoutSinkMatchesWithSink) {
+  // Telemetry must never change results — identical CampaignResult with the
+  // sink on and off, serial and threaded.
+  const Netlist nl = circuits::make_mac(4, /*registered=*/true);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  Rng rng(11);
+  const auto patterns =
+      random_patterns(nl.combinational_inputs().size(), 128, rng);
+
+  const CampaignResult plain = run_campaign(nl, faults, patterns, {});
+  obs::Telemetry telemetry;
+  const CampaignResult traced = run_campaign(
+      nl, faults, patterns, {.num_threads = 4, .telemetry = &telemetry});
+  EXPECT_EQ(plain.detected, traced.detected);
+  EXPECT_EQ(plain.first_detected_by, traced.first_detected_by);
+  EXPECT_EQ(plain.detected_after, traced.detected_after);
+
+  // The campaign populated its counters and per-shard spans.
+  const obs::MetricsSnapshot snap = telemetry.metrics.snapshot();
+  EXPECT_EQ(snap.counter_value("campaign.runs"), 1u);
+  EXPECT_EQ(snap.counter_value("campaign.faults"), faults.size());
+  EXPECT_EQ(snap.counter_value("campaign.patterns"), patterns.size());
+  EXPECT_EQ(snap.counter_value("campaign.faults_detected"), traced.detected);
+  EXPECT_GT(snap.counter_value("fsim.events"), 0u);
+  const auto* shard_us = snap.find("campaign.shard_us");
+  ASSERT_NE(shard_us, nullptr);
+  EXPECT_GE(shard_us->count, 1u);
+
+  std::size_t shard_spans = 0;
+  for (const auto& e : telemetry.trace.events()) {
+    if (e.name == "campaign.shard") ++shard_spans;
+  }
+  EXPECT_GE(shard_spans, 1u);
+  EXPECT_EQ(shard_us->count, shard_spans);
+}
+
+// ---- the instrumented flow (ISSUE acceptance shape) -------------------
+
+TEST(Telemetry, DftFlowEmitsStageSpansAndMetrics) {
+  const Netlist nl = circuits::make_mac(4, /*registered=*/true);
+  obs::Telemetry telemetry;
+  DftFlowOptions options;
+  options.telemetry = &telemetry;
+  options.atpg.random_patterns = 64;
+  options.lbist.patterns = 128;
+  options.run_transition = true;
+  options.campaign.num_threads = 2;
+
+  const DftFlowReport report = run_dft_flow(nl, options);
+
+  // ≥6 distinct flow.<stage> spans on the timeline.
+  std::set<std::string> stage_names;
+  std::size_t shard_spans = 0;
+  for (const auto& e : telemetry.trace.events()) {
+    if (e.name.rfind("flow.", 0) == 0) stage_names.insert(e.name);
+    if (e.name == "campaign.shard") ++shard_spans;
+  }
+  EXPECT_GE(stage_names.size(), 6u) << [&] {
+    std::string all;
+    for (const auto& n : stage_names) all += n + " ";
+    return all;
+  }();
+  EXPECT_GE(shard_spans, 1u);
+
+  // Per-stage wall time for every executed stage.
+  ASSERT_FALSE(report.stage_seconds.empty());
+  std::set<std::string> timed;
+  for (const auto& [name, seconds] : report.stage_seconds) {
+    EXPECT_GE(seconds, 0.0);
+    timed.insert(name);
+  }
+  EXPECT_GE(timed.size(), 6u);
+
+  // ≥10 named counters in the snapshot, including the headline ones.
+  EXPECT_GE(report.metrics.counter_count(), 10u);
+  for (const char* name :
+       {"podem.calls", "podem.backtracks", "podem.implications", "sat.calls",
+        "fsim.events", "campaign.runs", "campaign.faults",
+        "campaign.faults_detected", "lbist.sessions", "lbist.patterns"}) {
+    EXPECT_NE(report.metrics.find(name), nullptr) << name;
+  }
+
+  // The JSON report and the Chrome trace both parse.
+  const std::string json = report.to_json();
+  EXPECT_TRUE(obs::json_valid(json));
+  EXPECT_NE(json.find("\"stage_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_TRUE(obs::json_valid(telemetry.trace.to_chrome_json()));
+}
+
+TEST(Telemetry, DftFlowWithoutSinkStillTimesStages) {
+  const Netlist nl = circuits::make_ripple_adder(8);
+  DftFlowOptions options;
+  options.atpg.random_patterns = 32;
+  options.run_lbist = false;
+  const DftFlowReport report = run_dft_flow(nl, options);
+  EXPECT_FALSE(report.stage_seconds.empty());
+  EXPECT_EQ(report.metrics.entries.size(), 0u);
+  // to_json works with an empty snapshot too.
+  EXPECT_TRUE(obs::json_valid(report.to_json()));
+}
+
+}  // namespace
+}  // namespace aidft

@@ -4,6 +4,7 @@
 
 #include "atpg/atpg.hpp"
 #include "bench_circuits/generators.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

@@ -6,6 +6,7 @@
 #include "bench_circuits/generators.hpp"
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/scoap.hpp"

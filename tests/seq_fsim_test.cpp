@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_circuits/generators.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {

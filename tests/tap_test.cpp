@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "fault/fault.hpp"
+#include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
 #include "sim/event_sim.hpp"
 
