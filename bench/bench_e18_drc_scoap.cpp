@@ -1,0 +1,119 @@
+// E18 — testability static analysis: DRC cost, SCOAP-guided PODEM, and
+// SCOAP random-resistance prediction.
+// Expected shape: run_drc is orders of magnitude cheaper than ATPG (it is a
+// pre-flight lint, not a search); SCOAP-guided objective selection matches
+// or beats the level heuristic's coverage while shifting where backtracks
+// are spent; on random-pattern-resistant logic the SCOAP shortlist recalls
+// most of the faults an LBIST session actually misses.
+#include <benchmark/benchmark.h>
+
+#include "atpg/atpg.hpp"
+#include "bench_util.hpp"
+#include "bist/lbist.hpp"
+#include "drc/drc.hpp"
+#include "obs/telemetry.hpp"
+
+namespace aidft {
+namespace {
+
+// DRC wall time + violation/rule counters on clean bench circuits.  The
+// interesting number is rows/second relative to the ATPG rungs: a lint pass
+// must be cheap enough to run unconditionally at the head of every flow.
+void e18_drc(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  obs::Telemetry telemetry;
+  DrcReport report;
+  for (auto _ : state) {
+    DrcOptions opts;
+    opts.telemetry = &telemetry;
+    report = run_drc(nl, opts);
+    benchmark::DoNotOptimize(report.rules_run);
+  }
+  state.counters["gates"] = static_cast<double>(nl.num_gates());
+  state.counters["rules_run"] = static_cast<double>(report.rules_run);
+  state.counters["violations"] = static_cast<double>(report.total_found());
+  state.counters["scoap_avg_co"] = report.scoap.avg_co;
+  state.counters["scoap_unobservable"] =
+      static_cast<double>(report.scoap.unreachable_co);
+}
+
+// Deterministic PODEM with SCOAP objective ordering on vs off.  Random
+// patterns are disabled so every detection is PODEM's own work and the
+// backtrack tally is attributable to the heuristic.
+void e18_podem(benchmark::State& state, const std::string& name,
+               bool scoap_guidance) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  AtpgResult result;
+  for (auto _ : state) {
+    AtpgOptions opts;
+    opts.engine = AtpgEngine::kPodem;
+    opts.random_patterns = 0;
+    opts.podem_backtrack_limit = 200;
+    opts.scoap_guidance = scoap_guidance;
+    result = generate_tests(nl, faults, opts);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["patterns"] = static_cast<double>(result.patterns.size());
+  state.counters["backtracks"] = static_cast<double>(result.podem_backtracks);
+  state.counters["aborted"] = static_cast<double>(result.aborted);
+  state.counters["test_cov_pct"] = 100.0 * result.test_coverage();
+}
+
+// SCOAP resistance prediction vs what a pseudo-random session really missed.
+void e18_lbist_predict(benchmark::State& state, const std::string& name) {
+  const Netlist nl = bench::circuit_by_name(name);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  LbistResult result;
+  for (auto _ : state) {
+    LbistConfig cfg{.patterns = 256};
+    result = run_lbist(nl, faults, cfg);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.counters["faults"] = static_cast<double>(result.faults_total);
+  state.counters["undetected"] = static_cast<double>(result.undetected);
+  state.counters["predicted"] =
+      static_cast<double>(result.predicted_resistant);
+  state.counters["hits"] = static_cast<double>(result.resistant_undetected);
+  state.counters["precision_pct"] = 100.0 * result.resistance_precision();
+  state.counters["recall_pct"] = 100.0 * result.resistance_recall();
+}
+
+void register_all() {
+  for (const char* name :
+       {"c17", "cla16", "mul8", "alu8", "mac8reg", "rpr6x14"}) {
+    aidft::bench::reg(std::string("E18/drc/") + name,
+                      [name](benchmark::State& s) { e18_drc(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  for (const char* name : {"c17", "rca8", "mul8", "cmp8", "rpr6x14"}) {
+    for (const bool guided : {true, false}) {
+      aidft::bench::reg(std::string("E18/podem_") +
+                            (guided ? "scoap/" : "level/") + name,
+                        [name, guided](benchmark::State& s) {
+                          e18_podem(s, name, guided);
+                        })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  for (const char* name : {"rpr4x12", "rpr6x14", "mul8"}) {
+    aidft::bench::reg(
+        std::string("E18/lbist_predict/") + name,
+        [name](benchmark::State& s) { e18_lbist_predict(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace aidft
+
+int main(int argc, char** argv) {
+  aidft::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -7,11 +7,11 @@
 // table — the quantitative version of "identical cores make AI chips cheap
 // to test".
 //
-//   ./ai_chip_signoff [num_cores] [--json] [--trace <file>]
+// The flow opens with the DFT DRC stage (docs/DRC_RULES.md); findings are
+// part of both the text report and the --json output, and a design with
+// error-severity violations aborts before pattern generation.
 //
-//   --json          print the core-flow report as JSON (after the text table)
-//   --trace <file>  attach a telemetry sink and write a Chrome-trace JSON of
-//                   the whole flow; open it at https://ui.perfetto.dev
+//   ./ai_chip_signoff [num_cores] [--json] [--trace <file>] [--no-drc]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,14 +22,45 @@
 #include "core/chip_flow.hpp"
 #include "obs/telemetry.hpp"
 
+namespace {
+
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(out,
+               "usage: %s [num_cores] [--json] [--trace <file>] [--no-drc] "
+               "[--help]\n"
+               "\n"
+               "  num_cores       number of replicated accelerator cores "
+               "(default 8)\n"
+               "  --json          print the core-flow report as JSON, "
+               "including the DRC\n"
+               "                  findings, after the text table\n"
+               "  --trace <file>  attach a telemetry sink and write a "
+               "Chrome-trace JSON of\n"
+               "                  the whole flow; open it at "
+               "https://ui.perfetto.dev\n"
+               "  --no-drc        skip the DFT design-rule check stage "
+               "(docs/DRC_RULES.md)\n"
+               "  --help          show this message and exit\n",
+               prog);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace aidft;
   std::size_t num_cores = 8;
   bool emit_json = false;
+  bool run_drc = true;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
+    } else if (std::strcmp(argv[i], "--no-drc") == 0) {
+      run_drc = false;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace needs a file argument\n");
@@ -37,9 +68,7 @@ int main(int argc, char** argv) {
       }
       trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: %s [num_cores] [--json] [--trace <file>]\n",
-                   argv[0]);
+      print_usage(stderr, argv[0]);
       return 2;
     } else {
       num_cores = static_cast<std::size_t>(std::atoi(argv[i]));
@@ -57,6 +86,7 @@ int main(int argc, char** argv) {
 
   ChipFlowOptions options;
   options.num_cores = num_cores;
+  options.core_flow.run_drc = run_drc;
   options.core_flow.scan_chains = 8;
   options.core_flow.atpg.random_patterns = 64;
   options.core_flow.lbist.patterns = 256;
@@ -68,7 +98,22 @@ int main(int argc, char** argv) {
   }
 
   const ChipFlowReport report = run_chip_flow(core, options);
+  if (report.core.drc_ran) {
+    std::printf("DRC verdict: %s (%zu rule%s, %zu finding%s)\n",
+                report.core.drc_aborted ? "FAILED — flow aborted"
+                : report.core.drc.clean() && report.core.drc.total_found() == 0
+                    ? "clean"
+                    : "warnings only",
+                report.core.drc.rules_run,
+                report.core.drc.rules_run == 1 ? "" : "s",
+                report.core.drc.total_found(),
+                report.core.drc.total_found() == 1 ? "" : "s");
+  }
   std::printf("%s\n", report.to_string().c_str());
+  if (report.core.drc_aborted) {
+    if (emit_json) std::printf("%s\n", report.core.to_json().c_str());
+    return 1;
+  }
 
   const double speedup =
       static_cast<double>(report.sequential_cycles) /

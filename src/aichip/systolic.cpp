@@ -39,9 +39,16 @@ PeWires build_pe(Netlist& nl, const std::vector<GateId>& a_in,
       sum[i] = s;
       carry = c;
     } else if (carry != kNoGate) {
-      auto [s, c] = circuits::full_adder(nl, psum_in[i], carry, kNoGate);
-      sum[i] = s;
-      carry = c;
+      if (i + 1 < acc) {
+        auto [s, c] = circuits::full_adder(nl, psum_in[i], carry, kNoGate);
+        sum[i] = s;
+        carry = c;
+      } else {
+        // Top guard bit: the accumulator is modulo 2^acc, so a carry-out
+        // AND here would drive nothing — dead logic the DRC flags (D3/D9).
+        sum[i] = nl.add_gate(GateType::kXor, {psum_in[i], carry});
+        carry = kNoGate;
+      }
     } else {
       sum[i] = psum_in[i];
     }
@@ -119,8 +126,18 @@ Netlist make_systolic_array(const SystolicConfig& cfg) {
       b_in[c] = pe.b_reg;     // south
       psum_in[c] = pe.psum_reg;
     }
+    // East-edge activation shift-out: feeds the neighbouring tile in a
+    // cascaded matmul; left dangling it is an untestable register file
+    // (DRC D9 on every bit).
+    for (std::size_t i = 0; i < w; ++i) {
+      nl.add_output(a_in[i], idx("a_out" + std::to_string(r), i));
+    }
   }
   for (std::size_t c = 0; c < cfg.cols; ++c) {
+    // South-edge weight shift-out, for the same cascading/testability reason.
+    for (std::size_t i = 0; i < w; ++i) {
+      nl.add_output(b_in[c][i], idx("b_out" + std::to_string(c), i));
+    }
     for (std::size_t i = 0; i < acc; ++i) {
       nl.add_output(psum_in[c][i], idx("psum" + std::to_string(c), i));
     }

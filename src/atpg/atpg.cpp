@@ -79,7 +79,7 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
   obs::Span phase_span =
       obs::span(options.telemetry, "atpg.deterministic_phase", "atpg");
   const ScoapResult scoap = compute_scoap(nl);
-  Podem podem(nl, &scoap);
+  Podem podem(nl, options.scoap_guidance ? &scoap : nullptr);
   SatAtpg sat(nl);
   PodemOptions podem_opts;
   podem_opts.backtrack_limit = options.podem_backtrack_limit;
@@ -169,6 +169,7 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     }
   }
   flush_pending(true);
+  result.podem_backtracks = podem_backtracks;
 
   for (FaultStatus s : result.status) {
     if (s == FaultStatus::kDetected) ++result.detected;

@@ -35,6 +35,11 @@ struct AtpgOptions {
   std::uint64_t podem_backtrack_limit = 10'000;
   std::int64_t sat_conflict_limit = 200'000;
   AtpgEngine engine = AtpgEngine::kPodemThenSat;
+  /// Steer PODEM with SCOAP measures (hardest-to-control objective first in
+  /// pick_objective, cc-ordered backtrace, co-ordered D-frontier). Off falls
+  /// back to topological-level heuristics — same coverage, more backtracks;
+  /// bench_e18_drc_scoap quantifies the gap.
+  bool scoap_guidance = true;
   bool dynamic_compaction = true;
   XFill x_fill = XFill::kRandom;
   std::uint64_t seed = 1;
@@ -66,6 +71,7 @@ struct AtpgResult {
   std::size_t aborted = 0;
   std::size_t random_phase_detected = 0;   // subset of `detected`
   std::uint64_t podem_calls = 0;
+  std::uint64_t podem_backtracks = 0;  // across all PODEM calls
   std::uint64_t sat_calls = 0;
 
   std::size_t total_faults() const { return status.size(); }

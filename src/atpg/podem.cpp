@@ -191,14 +191,26 @@ bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
                   : Val3::kZero;
     return true;
   }
+  // Target the hardest-to-control X input first (SCOAP cc of the
+  // non-controlling value): if the difficult requirement is unsatisfiable
+  // the search fails before effort is sunk into the easy ones.
+  const Val3 want = noncontrolling(g.type);
+  GateId obj = kNoGate;
+  std::uint32_t obj_cost = 0;
   for (GateId f : g.fanin) {
-    if (!is_known(good_[f])) {
-      obj_gate = f;
-      obj_val = noncontrolling(g.type);
-      return true;
+    if (is_known(good_[f])) continue;
+    const std::uint32_t cost =
+        scoap_ ? (want == Val3::kOne ? scoap_->cc1[f] : scoap_->cc0[f])
+               : nl_->gate(f).level;
+    if (obj == kNoGate || cost > obj_cost) {
+      obj = f;
+      obj_cost = cost;
     }
   }
-  return false;
+  if (obj == kNoGate) return false;
+  obj_gate = obj;
+  obj_val = want;
+  return true;
 }
 
 std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {

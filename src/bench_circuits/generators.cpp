@@ -402,6 +402,15 @@ Netlist make_mac(std::size_t width, bool registered) {
       b.nl.add_output(s, idx("sum", i));
     }
   }
+  // Observe the top carry: acc is a free input, so it can overflow past the
+  // guard bits — dropping it would leave a dead (DRC D3) cone.
+  if (carry != kNoGate) {
+    if (registered) {
+      b.nl.add_output(b.nl.add_dff(carry, "cout_q"), "cout");
+    } else {
+      b.nl.add_output(carry, "cout");
+    }
+  }
   return b.done();
 }
 

@@ -1,0 +1,175 @@
+#include "bench_circuits/violations.hpp"
+
+namespace aidft {
+namespace {
+
+constexpr std::string_view kNetlistRules[] = {"D1", "D2", "D3",
+                                              "D4", "D5", "D9"};
+constexpr std::string_view kScanRules[] = {"D6", "D7", "D8"};
+
+// D1: g and h feed each other through pure combinational logic. finalize()
+// would throw, so the netlist stays unfinalized.
+SeededViolation seed_loop() {
+  SeededViolation s{"D1", Netlist("seed_d1"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId h = nl.add_gate(GateType::kOr, {b}, "h");
+  const GateId g = nl.add_gate(GateType::kAnd, {a, h}, "g");
+  nl.connect(g, h);  // closes the loop: g -> h -> g
+  nl.add_output(g, "out");
+  s.sites = {h < g ? h : g};  // one violation per SCC, at the smallest id
+  return s;
+}
+
+// D2: a BUF with no driver on its input pin; the line floats at X.
+SeededViolation seed_undriven() {
+  SeededViolation s{"D2", Netlist("seed_d2"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId u = nl.add_gate(GateType::kBuf, "u");  // no fanin: undriven
+  const GateId g = nl.add_gate(GateType::kAnd, {a, u}, "g");
+  nl.add_output(g, "out");
+  s.sites = {u};
+  return s;
+}
+
+// D3: g2 drives nothing and is not observed; finalizable but untestable.
+SeededViolation seed_floating() {
+  SeededViolation s{"D3", Netlist("seed_d3"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateType::kAnd, {a, b}, "g1");
+  nl.add_output(g1, "out");
+  const GateId g2 = nl.add_gate(GateType::kNot, {a}, "g2");  // dead end
+  s.sites = {g2};
+  nl.finalize();
+  return s;
+}
+
+// D4: the permanent X from undriven u reaches the primary output through g.
+SeededViolation seed_x_source() {
+  SeededViolation s{"D4", Netlist("seed_d4"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId u = nl.add_gate(GateType::kBuf, "u");  // undriven X source
+  const GateId g = nl.add_gate(GateType::kAnd, {a, u}, "g");
+  nl.add_output(g, "out");
+  s.sites = {u};
+  return s;
+}
+
+// D5: ff's D cone is a constant — no primary input or flop output can ever
+// change what it captures.
+SeededViolation seed_uncontrollable() {
+  SeededViolation s{"D5", Netlist("seed_d5"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId c0 = nl.add_gate(GateType::kConst0, "tie0");
+  const GateId ff = nl.add_dff(c0, "ff");
+  const GateId t = nl.add_gate(GateType::kAnd, {a, ff}, "t");
+  nl.add_output(t, "out");
+  s.sites = {ff};
+  nl.finalize();
+  return s;
+}
+
+// D9: r = OR(b, CONST1) is stuck at 1 by construction — SCOAP proves its
+// SA1 fault untestable (cc0 unreachable). The AND branch keeps a and b
+// themselves controllable and observable, so only r is flagged.
+SeededViolation seed_scoap_untestable() {
+  SeededViolation s{"D9", Netlist("seed_d9"), {}};
+  Netlist& nl = s.netlist;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId t = nl.add_gate(GateType::kAnd, {a, b}, "t");
+  nl.add_output(t, "out1");
+  const GateId c1 = nl.add_gate(GateType::kConst1, "tie1");
+  const GateId r = nl.add_gate(GateType::kOr, {b, c1}, "r");
+  nl.add_output(r, "out2");
+  s.sites = {r};
+  nl.finalize();
+  return s;
+}
+
+// Shared skeleton for the scan seeds: a two-cell chain si0 -> ff1 -> ff2 ->
+// so0 with functional logic on x/y. `mode` plants the defect:
+//   0 = clean wiring but scan-enable driven by logic (D6)
+//   1 = ff2's shift path wired to si0 instead of ff1 (D7: broken chain)
+//   2 = a NOT between ff1 and ff2's scan mux (D8: inverting segment)
+SeededScanViolation seed_scan(int mode) {
+  SeededScanViolation s;
+  Netlist nl("seed_scan");
+  const GateId x = nl.add_input("x");
+  const GateId y = nl.add_input("y");
+  const GateId si0 = nl.add_input("si0");
+  const GateId se = mode == 0
+                        ? nl.add_gate(GateType::kAnd, {x, y}, "se_bad")
+                        : nl.add_input("se");
+  const GateId d1 = nl.add_gate(GateType::kXor, {x, y}, "d1");
+  const GateId mux1 =
+      nl.add_gate(GateType::kMux, {se, d1, si0}, "ff1_scanmux");
+  const GateId ff1 = nl.add_dff(mux1, "ff1");
+  const GateId d2 = nl.add_gate(GateType::kOr, {y, ff1}, "d2");
+  GateId shift_src = ff1;  // what ff2's scan mux shifts from
+  if (mode == 1) shift_src = si0;
+  if (mode == 2) shift_src = nl.add_gate(GateType::kNot, {ff1}, "inv");
+  const GateId mux2 =
+      nl.add_gate(GateType::kMux, {se, d2, shift_src}, "ff2_scanmux");
+  const GateId ff2 = nl.add_dff(mux2, "ff2");
+  const GateId so0 = nl.add_output(ff2, "so0");
+  nl.finalize();
+
+  s.scan.netlist = std::move(nl);
+  s.scan.scan_enable = se;
+  s.scan.scan_in = {si0};
+  s.scan.scan_out = {so0};
+  s.scan.chain_cells = {{ff1, ff2}};
+  s.plan.chains = {ScanChain{{ff1, ff2}}};
+  switch (mode) {
+    case 0:
+      s.rule = "D6";
+      s.sites = {se};
+      break;
+    case 1:
+      s.rule = "D7";
+      s.sites = {ff2};
+      break;
+    default:
+      s.rule = "D8";
+      s.sites = {ff2};
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::span<const std::string_view> netlist_violation_rules() {
+  return kNetlistRules;
+}
+
+std::span<const std::string_view> scan_violation_rules() { return kScanRules; }
+
+SeededViolation make_violation(std::string_view rule_id) {
+  if (rule_id == "D1") return seed_loop();
+  if (rule_id == "D2") return seed_undriven();
+  if (rule_id == "D3") return seed_floating();
+  if (rule_id == "D4") return seed_x_source();
+  if (rule_id == "D5") return seed_uncontrollable();
+  if (rule_id == "D9") return seed_scoap_untestable();
+  AIDFT_REQUIRE(false, "no seeded violation for rule " + std::string(rule_id));
+  return {};
+}
+
+SeededScanViolation make_scan_violation(std::string_view rule_id) {
+  if (rule_id == "D6") return seed_scan(0);
+  if (rule_id == "D7") return seed_scan(1);
+  if (rule_id == "D8") return seed_scan(2);
+  AIDFT_REQUIRE(false,
+                "no seeded scan violation for rule " + std::string(rule_id));
+  return {};
+}
+
+}  // namespace aidft

@@ -1,0 +1,48 @@
+// Seeded DRC-violation circuits — one hand-built netlist per DRC rule ID,
+// each with the defect planted at a known site. tests/drc_test.cpp asserts
+// that the rule fires exactly at the seeded sites and stays silent on every
+// clean generator circuit; docs/DRC_RULES.md shows the same fragments as
+// violating examples.
+//
+// Netlist-level seeds (D1..D5, D9) come back as plain netlists; the ones
+// whose defect would make finalize() throw (D1, D2, D4) are returned
+// UNFINALIZED — run_drc accepts that, it is the point of the checker.
+// Scan-level seeds (D6..D8) come back as a hand-stitched ScanNetlist plus
+// the ScanPlan it claims to implement.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "scan/scan.hpp"
+
+namespace aidft {
+
+struct SeededViolation {
+  const char* rule;           // the rule ID this seed is built to trip
+  Netlist netlist;            // finalized unless the defect forbids it
+  std::vector<GateId> sites;  // every gate the rule must report, exactly
+};
+
+/// Rule IDs make_violation() accepts, in ID order.
+std::span<const std::string_view> netlist_violation_rules();
+
+/// Builds the seed circuit for a netlist-level rule (D1..D5, D9).
+SeededViolation make_violation(std::string_view rule_id);
+
+struct SeededScanViolation {
+  const char* rule;
+  ScanNetlist scan;
+  ScanPlan plan;              // the chain order the netlist claims to honor
+  std::vector<GateId> sites;  // sites in scan.netlist ids
+};
+
+/// Rule IDs make_scan_violation() accepts, in ID order.
+std::span<const std::string_view> scan_violation_rules();
+
+/// Builds the seed for a scan-integrity rule (D6..D8).
+SeededScanViolation make_scan_violation(std::string_view rule_id);
+
+}  // namespace aidft

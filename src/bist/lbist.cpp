@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "fsim/campaign.hpp"
 #include "fsim/fault_sim.hpp"
+#include "netlist/scoap.hpp"
 
 namespace aidft {
 
@@ -79,9 +80,51 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
                     .telemetry = config.telemetry});
   result.detected = campaign.detected;
   result.detected_after = campaign.detected_after;
+  result.undetected = result.faults_total - result.detected;
+
+  if (config.predict_resistance && !faults.empty()) {
+    // SCOAP-predicted random resistance: a fault well above the universe's
+    // mean detection difficulty rarely falls to pseudo-random patterns.
+    // (Pin faults reuse their gate's stem measures — a close over-estimate
+    // of observability, biased toward flagging, which is what a test-point
+    // shortlist wants.)
+    const ScoapResult scoap = compute_scoap(nl);
+    double sum = 0.0;
+    std::size_t finite = 0;
+    std::uint32_t max_finite = 0;
+    std::vector<std::uint32_t> difficulty(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      difficulty[i] =
+          scoap.sa_difficulty(faults[i].gate, faults[i].stuck_at_one());
+      if (difficulty[i] < kUnreachable) {
+        sum += difficulty[i];
+        max_finite = std::max(max_finite, difficulty[i]);
+        ++finite;
+      }
+    }
+    const double mean = finite ? sum / static_cast<double>(finite) : 0.0;
+    // Midpoint between the universe mean and the hardest finite fault: on a
+    // bimodal difficulty profile (the interesting case) this lands between
+    // the easy and resistant clusters; on a tight unimodal profile it sits
+    // near the max, so almost nothing is flagged.  The absolute floor keeps
+    // trivially easy universes from being shortlisted at all.
+    const std::uint32_t threshold = std::max<std::uint32_t>(
+        8, static_cast<std::uint32_t>((mean + max_finite) / 2.0));
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (difficulty[i] < threshold) continue;
+      ++result.predicted_resistant;
+      if (campaign.first_detected_by[i] < 0) ++result.resistant_undetected;
+    }
+    obs::add(config.telemetry, "lbist.predicted_resistant",
+             result.predicted_resistant);
+    obs::add(config.telemetry, "lbist.resistant_undetected",
+             result.resistant_undetected);
+  }
+
   if (session_span.active()) {
     session_span.arg("patterns", config.patterns);
     session_span.arg("detected", result.detected);
+    session_span.arg("predicted_resistant", result.predicted_resistant);
   }
 
   // Golden signature: MISR over the observed response of every pattern.

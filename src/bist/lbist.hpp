@@ -25,6 +25,13 @@ struct LbistConfig {
   std::uint64_t seed = 0xB157;  // nonzero PRPG seed
   std::size_t misr_bits = 32;
   std::size_t num_threads = 1;  // fault-campaign workers for coverage grading
+  /// Flag random-resistant faults up front from SCOAP difficulty (the
+  /// classic test-point-insertion trigger): a fault whose detection
+  /// difficulty reaches the midpoint between the universe mean and the
+  /// hardest finite fault (floor 8) is predicted to survive the
+  /// pseudo-random session. The result reports how the prediction fared
+  /// against the actual campaign.
+  bool predict_resistance = true;
   /// Observability sink: null (default) = off. Emits a `lbist.session` span
   /// plus `lbist.sessions` / `lbist.patterns` counters; the coverage
   /// campaign inherits the same sink.
@@ -56,6 +63,28 @@ struct LbistResult {
   std::size_t detected = 0;
   std::vector<std::size_t> detected_after;      // coverage curve
   std::vector<std::uint64_t> golden_signature;  // fault-free MISR state
+
+  // SCOAP random-resistance prediction vs. what the session actually missed
+  // (filled when LbistConfig::predict_resistance).
+  std::size_t predicted_resistant = 0;   // flagged before simulation
+  std::size_t resistant_undetected = 0;  // flagged AND missed (hits)
+  std::size_t undetected = 0;            // all misses
+
+  /// Of the faults flagged random-resistant, the fraction the session did
+  /// miss (prediction precision).
+  double resistance_precision() const {
+    return predicted_resistant == 0
+               ? 1.0
+               : static_cast<double>(resistant_undetected) /
+                     static_cast<double>(predicted_resistant);
+  }
+  /// Of the faults the session missed, the fraction flagged up front
+  /// (prediction recall — the test-point-insertion shortlist quality).
+  double resistance_recall() const {
+    return undetected == 0 ? 1.0
+                           : static_cast<double>(resistant_undetected) /
+                                 static_cast<double>(undetected);
+  }
 
   double coverage() const {
     return faults_total == 0 ? 1.0

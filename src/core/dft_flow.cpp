@@ -22,11 +22,52 @@ void run_stage(DftFlowReport& report, obs::Telemetry* telemetry,
 
 }  // namespace
 
-DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
-  AIDFT_REQUIRE(nl.finalized(), "run_dft_flow requires finalized netlist");
+DftFlowReport run_dft_flow(const Netlist& input, const DftFlowOptions& options) {
+  AIDFT_REQUIRE(options.run_drc || input.finalized(),
+                "run_dft_flow without DRC requires a finalized netlist");
   DftFlowReport report;
   obs::Telemetry* telemetry = options.telemetry;
   obs::Span flow_span = obs::span(telemetry, "flow.run", "flow");
+
+  // DRC + SCOAP audit first — an unfinalized netlist is allowed here and
+  // only here, so structural defects come back as rule violations instead
+  // of finalize() throws. Error findings abort before pattern generation.
+  // A DRC-clean netlist is guaranteed to finalize; when the caller handed
+  // us a raw one we finalize a copy and run the rest of the flow on that.
+  Netlist finalized_copy;
+  const Netlist* active = &input;
+  if (options.run_drc) {
+    report.drc_ran = true;
+    run_stage(report, telemetry, "flow.drc", [&] {
+      DrcOptions drc_opts = options.drc;
+      drc_opts.telemetry = telemetry;
+      report.drc = run_drc(input, drc_opts);
+      if (!report.drc.clean()) return;
+      if (!input.finalized()) {
+        finalized_copy = input;
+        finalized_copy.finalize();
+        active = &finalized_copy;
+      }
+      if (!active->dffs().empty()) {
+        // Scan-stitching self-audit: insert per the same plan the flow will
+        // use and run the chain-integrity rules (D6..D8) on the result.
+        const ScanPlan audit_plan =
+            plan_scan_chains(*active, options.scan_chains);
+        const ScanNetlist audit = insert_scan(*active, audit_plan);
+        check_scan_chains(audit, audit_plan, report.drc, drc_opts);
+      }
+    });
+    if (!report.drc.clean()) {
+      report.drc_aborted = true;
+      if (telemetry != nullptr) {
+        flow_span.arg("drc_aborted", "true");
+        flow_span.end();
+        report.metrics = telemetry->metrics.snapshot();
+      }
+      return report;
+    }
+  }
+  const Netlist& nl = *active;
   report.stats = compute_stats(nl);
 
   // Fault universe.
@@ -115,6 +156,22 @@ DftFlowReport run_dft_flow(const Netlist& nl, const DftFlowOptions& options) {
 
 std::string DftFlowReport::to_string() const {
   std::ostringstream ss;
+  if (drc_ran) {
+    ss << "drc:    " << drc.total_found() << " violation(s), " << drc.errors()
+       << " error(s)";
+    if (drc.scoap.ran) {
+      ss << " | scoap avg co " << drc.scoap.avg_co << ", unobservable "
+         << drc.scoap.unreachable_co;
+    }
+    ss << "\n";
+    for (const DrcViolation& v : drc.violations) {
+      ss << "        " << v.to_string() << "\n";
+    }
+    if (drc_aborted) {
+      ss << "flow:   ABORTED on DRC errors — no patterns generated\n";
+      return ss.str();
+    }
+  }
   ss << "design: " << stats.to_string() << "\n";
   ss << "faults: " << faults_total << " uncollapsed, " << faults_collapsed
      << " collapsed (ratio "
@@ -157,6 +214,12 @@ std::string DftFlowReport::to_string() const {
 std::string DftFlowReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
+
+  if (drc_ran) {
+    // DrcReport::to_json emits a complete JSON object, spliced verbatim.
+    w.key("drc").raw(drc.to_json());
+    w.field("drc_aborted", drc_aborted);
+  }
 
   w.key("design").begin_object();
   w.field("gates", stats.num_gates);

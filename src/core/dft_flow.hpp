@@ -15,6 +15,7 @@
 #include "atpg/transition_atpg.hpp"
 #include "bist/lbist.hpp"
 #include "compress/session.hpp"
+#include "drc/drc.hpp"
 #include "fsim/campaign.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/stats.hpp"
@@ -31,6 +32,13 @@ namespace aidft {
 struct PowerStageOptions {};
 
 struct DftFlowOptions {
+  /// DFT DRC + SCOAP audit as the first stage (industrial flows always DRC
+  /// before pattern generation). Any error-severity finding aborts the flow
+  /// — the report carries the findings and every later stage is skipped.
+  /// The stage also self-audits scan stitching: it plans + inserts scan and
+  /// runs the chain-integrity rules (D6..D8) on the result.
+  bool run_drc = true;
+  DrcOptions drc;
   std::size_t scan_chains = 4;
   bool collapse_faults = true;
   /// Fault-campaign settings shared by every grading stage: the facade
@@ -55,6 +63,11 @@ struct DftFlowOptions {
 };
 
 struct DftFlowReport {
+  bool drc_ran = false;
+  DrcReport drc;
+  /// True when DRC found error-severity violations and the flow stopped
+  /// before fault generation; only `drc` and `stage_seconds` are filled.
+  bool drc_aborted = false;
   NetlistStats stats;
   std::size_t faults_total = 0;      // uncollapsed universe
   std::size_t faults_collapsed = 0;  // after equivalence collapsing
@@ -84,7 +97,11 @@ struct DftFlowReport {
   std::string to_json() const;
 };
 
-/// Runs the full flow on a finalized netlist.
+/// Runs the full flow. With DRC enabled (the default) the netlist may be
+/// UNFINALIZED: the DRC stage reports the structural defects finalize()
+/// would throw on (with rule IDs and locations) and aborts cleanly; a
+/// DRC-clean netlist is finalized internally and the flow proceeds. With
+/// `run_drc = false` the netlist must already be finalized.
 DftFlowReport run_dft_flow(const Netlist& netlist,
                            const DftFlowOptions& options = {});
 

@@ -142,6 +142,15 @@ ScoapResult compute_scoap(const Netlist& nl) {
   // --- observability, backward over topological order --------------------
   for (GateId id : nl.outputs()) r.co[id] = 0;
   for (GateId id : nl.dffs()) r.co[id] = kUnreachable;  // Q observability via fanout
+  // A flop's D input is captured and scanned out, so it is observable at
+  // cost 1 no matter where Q goes.  Seed that BEFORE the sweep: DFFs are
+  // topological sources (first in topo order, last in the reverse sweep),
+  // so a grant made while visiting the DFF node itself would come too late
+  // to reach the combinational cone that computes D.
+  for (GateId id : nl.dffs()) {
+    const GateId d = nl.gate(id).fanin[0];
+    r.co[d] = std::min(r.co[d], 1u);
+  }
 
   const auto& topo = nl.topo_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
@@ -152,10 +161,7 @@ ScoapResult compute_scoap(const Netlist& nl) {
     // min-merge below accumulates.
     std::uint32_t co_g = r.co[id];
     if (g.type == GateType::kDff) {
-      // D input is captured and scanned out: observing through a scan flop
-      // costs 1 regardless of where Q goes afterwards.
-      r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], 1u);
-      continue;
+      continue;  // D observability was pre-seeded above
     }
     if (co_g >= kUnreachable && g.type != GateType::kOutput) {
       // No observable path through this gate; nothing to push down.

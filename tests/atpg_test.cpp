@@ -209,6 +209,52 @@ TEST(GenerateTests, FewerPatternsThanRandomForSameCoverage) {
   EXPECT_LT(rand_r.coverage(), det.test_coverage());
 }
 
+TEST(GenerateTests, ScoapGuidanceMatchesCoverageOfLevelHeuristic) {
+  // SCOAP guidance is a search-effort optimisation, never a coverage trade:
+  // with PODEM alone (no SAT fallback to mask aborts) both orderings must
+  // close every testable fault on these circuits, and backtracks are
+  // reported either way.
+  for (const char* which : {"c17", "rca8", "mul4", "cmp8"}) {
+    Netlist nl;
+    for (auto& nc : circuits::standard_suite()) {
+      if (std::string(which) == nc.name) nl = std::move(nc.netlist);
+    }
+    const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+    AtpgOptions opts;
+    opts.engine = AtpgEngine::kPodem;
+    opts.random_patterns = 0;
+    opts.scoap_guidance = true;
+    const AtpgResult guided = generate_tests(nl, faults, opts);
+    opts.scoap_guidance = false;
+    const AtpgResult level = generate_tests(nl, faults, opts);
+    EXPECT_GE(guided.test_coverage(), level.test_coverage()) << which;
+    EXPECT_EQ(guided.aborted, 0u) << which;
+    EXPECT_GT(guided.podem_calls, 0u) << which;
+  }
+}
+
+TEST(GenerateTests, PodemBacktracksAreReported) {
+  // g = AND(a, NOT a) is constant-0, so its SA1 fault is redundant: PODEM
+  // must exhaust both values of `a` to prove it, which guarantees at least
+  // one backtrack.  The tally must surface in the result (it feeds the E18
+  // bench comparison).
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId n = nl.add_gate(GateType::kNot, {a}, "n");
+  const GateId g = nl.add_gate(GateType::kAnd, {a, n}, "g");
+  nl.add_output(g, "z");
+  nl.finalize();
+  const auto faults = generate_stuck_at_faults(nl);
+  AtpgOptions opts;
+  opts.engine = AtpgEngine::kPodem;
+  opts.random_patterns = 0;
+  opts.scoap_guidance = false;
+  opts.dynamic_compaction = false;
+  const AtpgResult r = generate_tests(nl, faults, opts);
+  EXPECT_GT(r.podem_calls, 0u);
+  EXPECT_GT(r.podem_backtracks, 0u);
+}
+
 TEST(Compaction, StaticCompactionPreservesCoverage) {
   const Netlist nl = circuits::make_alu(4);
   const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));

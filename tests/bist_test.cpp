@@ -66,6 +66,34 @@ TEST(Lbist, UndetectedFaultKeepsSignature) {
   EXPECT_EQ(faulty_signature(nl, redundant, cfg), golden.golden_signature);
 }
 
+TEST(Lbist, ResistancePredictionFlagsTheRandomlyMissedFaults) {
+  // On RP-resistant logic the SCOAP shortlist must land on real misses:
+  // precision and recall both clearly above chance, and the bookkeeping
+  // identities hold.
+  const Netlist nl = circuits::make_rp_resistant(3, 14);
+  const auto faults = collapse_equivalent(nl, generate_stuck_at_faults(nl));
+  const LbistConfig cfg{.patterns = 256};
+  const LbistResult r = run_lbist(nl, faults, cfg);
+  EXPECT_EQ(r.undetected, r.faults_total - r.detected);
+  EXPECT_GT(r.undetected, 0u) << "circuit not RP-resistant enough";
+  EXPECT_GT(r.predicted_resistant, 0u);
+  EXPECT_LE(r.resistant_undetected, r.predicted_resistant);
+  EXPECT_LE(r.resistant_undetected, r.undetected);
+  EXPECT_GT(r.resistance_recall(), 0.5);
+  EXPECT_GT(r.resistance_precision(), 0.25);
+}
+
+TEST(Lbist, ResistancePredictionCanBeDisabled) {
+  const Netlist nl = circuits::make_rp_resistant(2, 10);
+  const auto faults = generate_stuck_at_faults(nl);
+  LbistConfig cfg{.patterns = 64};
+  cfg.predict_resistance = false;
+  const LbistResult r = run_lbist(nl, faults, cfg);
+  EXPECT_EQ(r.predicted_resistant, 0u);
+  EXPECT_EQ(r.resistant_undetected, 0u);
+  EXPECT_DOUBLE_EQ(r.resistance_precision(), 1.0);
+}
+
 TEST(TestPoints, SelectionPrefersHardNets) {
   const Netlist nl = circuits::make_rp_resistant(2, 12);
   const ScoapResult scoap = compute_scoap(nl);

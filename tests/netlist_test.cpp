@@ -189,6 +189,64 @@ TEST(Scoap, Const0CannotBeOne) {
   EXPECT_EQ(s.cc0[c], 0u);
 }
 
+TEST(Scoap, GoldenValuesOnHandComputedTenGateNetlist) {
+  // Ten gates covering NOT/AND/OR/XOR/DFF/OUTPUT, every measure worked out
+  // by hand from the Goldstein recurrences (full-scan variant: DFF Q costs
+  // 1 to control, DFF D costs 1 to observe).
+  Netlist nl("golden10");
+  const GateId a = nl.add_input("a");                          // 0
+  const GateId b = nl.add_input("b");                          // 1
+  const GateId c = nl.add_input("c");                          // 2
+  const GateId n = nl.add_gate(GateType::kNot, {a}, "n");      // 3
+  const GateId g1 = nl.add_gate(GateType::kAnd, {n, b}, "g1"); // 4
+  const GateId g2 = nl.add_gate(GateType::kOr, {g1, c}, "g2"); // 5
+  const GateId x = nl.add_gate(GateType::kXor, {a, b}, "x");   // 6
+  const GateId ff = nl.add_dff(x, "ff");                       // 7
+  const GateId o1 = nl.add_output(g2, "out1");                 // 8
+  const GateId o2 = nl.add_output(ff, "out2");                 // 9
+  nl.finalize();
+  ASSERT_EQ(nl.num_gates(), 10u);
+  const ScoapResult s = compute_scoap(nl);
+
+  // Controllability, forward pass.
+  for (GateId pi : {a, b, c}) {
+    EXPECT_EQ(s.cc0[pi], 1u);
+    EXPECT_EQ(s.cc1[pi], 1u);
+  }
+  EXPECT_EQ(s.cc0[n], 2u);   // cc1(a) + 1
+  EXPECT_EQ(s.cc1[n], 2u);   // cc0(a) + 1
+  EXPECT_EQ(s.cc0[g1], 2u);  // min(cc0(n), cc0(b)) + 1 = 1 + 1
+  EXPECT_EQ(s.cc1[g1], 4u);  // cc1(n) + cc1(b) + 1 = 2 + 1 + 1
+  EXPECT_EQ(s.cc0[g2], 4u);  // cc0(g1) + cc0(c) + 1 = 2 + 1 + 1
+  EXPECT_EQ(s.cc1[g2], 2u);  // min(cc1(g1), cc1(c)) + 1 = 1 + 1
+  EXPECT_EQ(s.cc0[x], 3u);   // cheapest even parity of {a,b} + 1 = 2 + 1
+  EXPECT_EQ(s.cc1[x], 3u);   // cheapest odd parity + 1
+  EXPECT_EQ(s.cc0[ff], 1u);  // full scan: Q loads through the chain
+  EXPECT_EQ(s.cc1[ff], 1u);
+  EXPECT_EQ(s.cc0[o1], 5u);  // output marker mirrors driver + 1
+  EXPECT_EQ(s.cc1[o1], 3u);
+  EXPECT_EQ(s.cc0[o2], 2u);
+  EXPECT_EQ(s.cc1[o2], 2u);
+
+  // Observability, backward pass.
+  EXPECT_EQ(s.co[o1], 0u);
+  EXPECT_EQ(s.co[o2], 0u);
+  EXPECT_EQ(s.co[g2], 0u);   // directly at a PO
+  EXPECT_EQ(s.co[ff], 0u);   // Q directly at a PO
+  EXPECT_EQ(s.co[x], 1u);    // captured by the scan flop: cost 1
+  EXPECT_EQ(s.co[g1], 2u);   // co(g2) + cc0(c) + 1 = 0 + 1 + 1
+  EXPECT_EQ(s.co[c], 3u);    // co(g2) + cc0(g1) + 1 = 0 + 2 + 1
+  EXPECT_EQ(s.co[n], 4u);    // co(g1) + cc1(b) + 1 = 2 + 1 + 1
+  // b: min(via XOR: co(x)+min cc(a)+1 = 3, via g1: co(g1)+cc1(n)+1 = 5).
+  EXPECT_EQ(s.co[b], 3u);
+  // a: min(via XOR: 3, via NOT: co(n)+1 = 5).
+  EXPECT_EQ(s.co[a], 3u);
+
+  // Difficulty proxy composes controllability and observability.
+  EXPECT_EQ(s.sa_difficulty(g1, /*stuck_at_one=*/true), 2u + 2u);   // cc0+co
+  EXPECT_EQ(s.sa_difficulty(g1, /*stuck_at_one=*/false), 4u + 2u);  // cc1+co
+}
+
 TEST(Scoap, DeepLinesHarderToControl) {
   const Netlist nl = circuits::make_ripple_adder(16);
   const ScoapResult s = compute_scoap(nl);

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Markdown hygiene checker: dead relative links and unbalanced code fences.
+
+Scans the repository's tracked documentation (README.md, DESIGN.md,
+EXPERIMENTS.md, docs/*.md, and any other .md files passed as arguments) for:
+
+  * relative links whose target file does not exist (http/https/mailto and
+    pure-#fragment links are skipped; a #fragment suffix on a file link is
+    stripped before the existence check);
+  * unbalanced fenced code blocks (an odd number of ``` fences), which
+    silently swallow the rest of the document when rendered.
+
+Exit status is non-zero if any problem is found.  Stdlib only; run it as:
+
+    python3 tools/check_markdown.py            # default file set
+    python3 tools/check_markdown.py FILE...    # explicit files
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) links. Deliberately simple: no nesting, stops at the
+# first ')', which matches how this repo's docs are written.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+FENCE_RE = re.compile(r"^\s{0,3}(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files(repo_root):
+    files = []
+    for name in sorted(os.listdir(repo_root)):
+        if name.endswith(".md"):
+            files.append(os.path.join(repo_root, name))
+    docs = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+
+    fence_opens = []
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            if in_fence:
+                fence_opens.append(lineno)
+            continue
+        if in_fence:
+            continue  # don't parse links inside code blocks
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            if target.startswith("<") and target.endswith(">"):
+                target = target[1:-1]
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{path}:{lineno}: dead relative link '{m.group(1)}' "
+                    f"(resolved to {resolved})")
+
+    if in_fence:
+        problems.append(
+            f"{path}:{fence_opens[-1]}: unclosed code fence "
+            f"({2 * len(fence_opens) - 1} fence markers in file)")
+    return problems
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv[1:] or default_files(repo_root)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL, ' + str(len(problems)) + ' problem(s)' if problems else 'OK'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
