@@ -34,10 +34,11 @@ std::size_t drop_detected(FaultSimulator& fsim, const std::vector<Fault>& faults
 
 AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
                           const AtpgOptions& options) {
-  AIDFT_REQUIRE(nl.finalized(), "generate_tests requires finalized netlist");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "generate_tests",
+                    "requires a finalized netlist");
   for (const Fault& f : faults) {
-    AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
-                  "generate_tests handles stuck-at fault lists");
+    AIDFT_REQUIRE_CTX(f.kind == FaultKind::kStuckAt, "generate_tests",
+                      "handles stuck-at fault lists");
   }
 
   AtpgResult result;
@@ -56,7 +57,9 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     CampaignResult campaign =
         run_campaign(nl, faults, random,
                      {.num_threads = options.num_threads,
-                      .telemetry = options.telemetry});
+                      .telemetry = options.telemetry,
+                      .run_control = options.run_control});
+    result.outcome = campaign.outcome;
     std::vector<bool> keep(random.size(), false);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       const std::int64_t fd = campaign.first_detected_by[i];
@@ -83,7 +86,9 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
   SatAtpg sat(nl);
   PodemOptions podem_opts;
   podem_opts.backtrack_limit = options.podem_backtrack_limit;
-  SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry};
+  podem_opts.run_control = options.run_control;
+  SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry,
+                          options.run_control};
 
   // PODEM search-effort tallies, aggregated from per-call outcomes and
   // flushed to the sink once at phase end.
@@ -116,8 +121,19 @@ AtpgResult generate_tests(const Netlist& nl, const std::vector<Fault>& faults,
     pending.clear();
   };
 
-  for (std::size_t i = 0; i < faults.size(); ++i) {
+  for (std::size_t i = 0;
+       i < faults.size() && result.outcome == StageOutcome::kCompleted; ++i) {
     if (result.status[i] != FaultStatus::kUndetected) continue;
+    if (options.run_control != nullptr) {
+      // One counting check per targeted fault: a deadline or cancellation
+      // stops the pipeline between faults, so every already-recorded
+      // disposition and every pending cube stays valid.
+      const StopReason stop = options.run_control->check();
+      if (stop != StopReason::kNone) {
+        result.outcome = outcome_from(stop);
+        break;
+      }
+    }
 
     AtpgOutcome outcome;
     switch (options.engine) {

@@ -50,6 +50,12 @@ struct AtpgOptions {
   /// `atpg.random_phase` / `atpg.deterministic_phase` spans and aggregates
   /// `podem.*` / `sat.*` counters (flushed per engine call, not per event).
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null (default) = run to completion. When set it is
+  /// check()ed once per deterministic-phase fault and inherited by the
+  /// random-phase campaign, PODEM and the SAT engine; on expiry/cancel
+  /// generate_tests returns the patterns and dispositions produced so far
+  /// (outcome != kCompleted) — untargeted faults stay kUndetected.
+  RunControl* run_control = nullptr;
 };
 
 enum class FaultStatus : std::uint8_t {
@@ -73,6 +79,9 @@ struct AtpgResult {
   std::uint64_t podem_calls = 0;
   std::uint64_t podem_backtracks = 0;  // across all PODEM calls
   std::uint64_t sat_calls = 0;
+  /// How the pipeline ended: kCompleted, or kTimedOut/kCancelled when a
+  /// RunControl stopped it early (the result is a valid partial run).
+  StageOutcome outcome = StageOutcome::kCompleted;
 
   std::size_t total_faults() const { return status.size(); }
   double fault_coverage() const {

@@ -401,7 +401,9 @@ AtpgOutcome Podem::justify(GateId line, Val3 value, const PodemOptions& options)
       ++out.backtracks;
       break;
     }
-    if (out.backtracks > options.backtrack_limit) {
+    if (out.backtracks > options.backtrack_limit ||
+        (options.run_control != nullptr && (out.backtracks & 255) == 0 &&
+         options.run_control->poll() != StopReason::kNone)) {
       out.status = AtpgStatus::kAborted;
       out.implications = implications_;
       return out;
@@ -497,7 +499,9 @@ AtpgOutcome Podem::generate(const Fault& fault, const PodemOptions& options) {
       ++out.backtracks;
       break;
     }
-    if (out.backtracks > options.backtrack_limit) {
+    if (out.backtracks > options.backtrack_limit ||
+        (options.run_control != nullptr && (out.backtracks & 255) == 0 &&
+         options.run_control->poll() != StopReason::kNone)) {
       out.status = AtpgStatus::kAborted;
       out.implications = implications_;
       return out;

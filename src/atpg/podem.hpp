@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/scoap.hpp"
@@ -42,6 +43,10 @@ struct PodemOptions {
   /// quiet). A fault unprovable under the constraints is reported
   /// kUntestable — untestable *in this mode*.
   std::vector<std::pair<GateId, Val3>> constraints;
+  /// Run control: null = search to the backtrack limit. When set, the search
+  /// polls every 256 backtracks and reports kAborted on expiry/cancel — the
+  /// same partial-result shape as a backtrack-budget abort.
+  RunControl* run_control = nullptr;
 };
 
 class Podem {

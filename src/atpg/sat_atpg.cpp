@@ -48,7 +48,8 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
     const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
     const Lit want = fault.stuck_at_one() ? ~good.lit(driver) : good.lit(driver);
     solver.add_unit(want);
-    const SatResult res = solver.solve({}, options.conflict_limit);
+    const SatResult res =
+        solver.solve({}, options.conflict_limit, options.run_control);
     flush_stats();
     if (res == SatResult::kSat) {
       finish_model();
@@ -139,7 +140,8 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
   }
   solver.add_clause(std::move(diffs));
 
-  const SatResult res = solver.solve({}, options.conflict_limit);
+  const SatResult res =
+      solver.solve({}, options.conflict_limit, options.run_control);
   flush_stats();
   if (res == SatResult::kSat) {
     finish_model();

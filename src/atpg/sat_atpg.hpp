@@ -22,6 +22,10 @@ struct SatAtpgOptions {
   /// Optional sink for `sat.*` counters (solves, conflicts, decisions,
   /// propagations, restarts), flushed once per solve. Null = off.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null = solve to the conflict limit. When set, the solver
+  /// polls every 1024 conflicts; expiry/cancel yields kAborted (the same
+  /// shape as a conflict-budget abort).
+  RunControl* run_control = nullptr;
 };
 
 class SatAtpg {

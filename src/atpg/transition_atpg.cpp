@@ -14,13 +14,13 @@ namespace {
 // `line` == value? Returns a fully specified cube on success.
 AtpgOutcome sat_justify(const Netlist& nl, GateId line, Val3 value,
                         std::int64_t conflict_limit,
-                        obs::Telemetry* telemetry) {
+                        obs::Telemetry* telemetry, RunControl* run_control) {
   AtpgOutcome out;
   SatSolver solver;
   CircuitCnf cnf(nl, solver);
   const Lit l = cnf.lit(line);
   solver.add_unit(value == Val3::kOne ? l : ~l);
-  const SatResult res = solver.solve({}, conflict_limit);
+  const SatResult res = solver.solve({}, conflict_limit, run_control);
   if (telemetry != nullptr) {
     const SatSolver::Stats& s = solver.stats();
     obs::add(telemetry, "sat.solves");
@@ -54,10 +54,11 @@ AtpgOutcome sat_justify(const Netlist& nl, GateId line, Val3 value,
 TransitionAtpgResult generate_transition_tests(
     const Netlist& nl, const std::vector<Fault>& faults,
     const TransitionAtpgOptions& options) {
-  AIDFT_REQUIRE(nl.finalized(), "transition ATPG requires finalized netlist");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "generate_transition_tests",
+                    "requires a finalized netlist");
   for (const Fault& f : faults) {
-    AIDFT_REQUIRE(f.kind == FaultKind::kTransition,
-                  "generate_transition_tests takes transition faults");
+    AIDFT_REQUIRE_CTX(f.kind == FaultKind::kTransition,
+                      "generate_transition_tests", "takes transition faults");
   }
   TransitionAtpgResult result;
   result.status.assign(faults.size(), FaultStatus::kUndetected);
@@ -67,7 +68,10 @@ TransitionAtpgResult generate_transition_tests(
   const ScoapResult scoap = compute_scoap(nl);
   Podem podem(nl, &scoap);
   SatAtpg sat(nl);
-  const SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry};
+  const SatAtpgOptions sat_opts{options.sat_conflict_limit, options.telemetry,
+                                options.run_control};
+  PodemOptions podem_opts = options.podem;
+  podem_opts.run_control = options.run_control;
   Rng rng(options.seed);
 
   std::uint64_t podem_calls = 0;
@@ -95,10 +99,14 @@ TransitionAtpgResult generate_transition_tests(
       }
     }
     if (alive.empty()) return;
+    // Inheriting run control here is safe: an early stop only *misses*
+    // incidental detections (more deterministic work later), it never
+    // records a false one.
     const CampaignResult r =
         run_campaign(nl, alive, result.patterns,
                      {.num_threads = options.num_threads,
-                      .telemetry = options.telemetry});
+                      .telemetry = options.telemetry,
+                      .run_control = options.run_control});
     for (std::size_t k = 0; k < alive.size(); ++k) {
       if (r.first_detected_by[k] >= 0) {
         result.status[alive_idx[k]] = FaultStatus::kDetected;
@@ -109,6 +117,13 @@ TransitionAtpgResult generate_transition_tests(
   std::size_t since_drop = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (result.status[i] != FaultStatus::kUndetected) continue;
+    if (options.run_control != nullptr) {
+      const StopReason stop = options.run_control->check();
+      if (stop != StopReason::kNone) {
+        result.outcome = outcome_from(stop);
+        break;
+      }
+    }
     const Fault& f = faults[i];
     const GateId line =
         f.is_stem() ? f.gate : nl.gate(f.gate).fanin[f.pin];
@@ -120,7 +135,7 @@ TransitionAtpgResult generate_transition_tests(
     Fault as_stuck = f;
     as_stuck.kind = FaultKind::kStuckAt;
     as_stuck.value = f.value ? 0 : 1;
-    AtpgOutcome capture = podem.generate(as_stuck, options.podem);
+    AtpgOutcome capture = podem.generate(as_stuck, podem_opts);
     note_podem(capture);
     if (capture.status == AtpgStatus::kAborted && options.sat_fallback) {
       capture = sat.generate(as_stuck, sat_opts);
@@ -133,11 +148,11 @@ TransitionAtpgResult generate_transition_tests(
       result.status[i] = FaultStatus::kAborted;
       continue;
     }
-    AtpgOutcome launch = podem.justify(line, init, options.podem);
+    AtpgOutcome launch = podem.justify(line, init, podem_opts);
     note_podem(launch);
     if (launch.status == AtpgStatus::kAborted && options.sat_fallback) {
       launch = sat_justify(nl, line, init, options.sat_conflict_limit,
-                           options.telemetry);
+                           options.telemetry, options.run_control);
     }
     if (launch.status == AtpgStatus::kUntestable) {
       // The line can never hold the initial value: no transition possible.
@@ -163,7 +178,9 @@ TransitionAtpgResult generate_transition_tests(
   }
 
   // Final authoritative grade: statuses must reflect what the emitted
-  // pattern set actually detects.
+  // pattern set actually detects. Deliberately NOT run-controlled — its cost
+  // is proportional to the pairs actually emitted, and skipping it could
+  // leave a provisional kDetected that the pattern set does not back up.
   {
     std::vector<std::size_t> undecided;
     std::vector<Fault> regrade;

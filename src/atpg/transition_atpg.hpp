@@ -28,6 +28,13 @@ struct TransitionAtpgOptions {
   /// span plus aggregated `podem.*` counters; campaigns and SAT fallbacks
   /// inherit the same sink.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null (default) = run to completion. When set it is
+  /// check()ed once per fault and inherited by PODEM, the SAT fallbacks and
+  /// the intermediate dropping campaigns. On expiry/cancel the generator
+  /// stops targeting new faults but still runs the final authoritative
+  /// regrade over the pairs emitted so far, so every reported status is
+  /// true for the returned pattern set (outcome != kCompleted).
+  RunControl* run_control = nullptr;
 };
 
 struct TransitionAtpgResult {
@@ -37,6 +44,9 @@ struct TransitionAtpgResult {
   std::size_t detected = 0;
   std::size_t untestable = 0;  // no SA test exists OR line can't reach init
   std::size_t aborted = 0;
+  /// How the generator ended: kCompleted, or kTimedOut/kCancelled when a
+  /// RunControl stopped it early (the result is a valid partial run).
+  StageOutcome outcome = StageOutcome::kCompleted;
 
   double fault_coverage() const {
     return status.empty() ? 1.0

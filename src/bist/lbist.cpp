@@ -56,7 +56,8 @@ TestCube Prpg::next_pattern() {
 
 LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
                       const LbistConfig& config) {
-  AIDFT_REQUIRE(nl.finalized(), "run_lbist requires finalized netlist");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "run_lbist",
+                    "requires a finalized netlist");
   LbistResult result;
   result.patterns = config.patterns;
   result.faults_total = faults.size();
@@ -77,12 +78,15 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
   const CampaignResult campaign =
       run_campaign(nl, faults, patterns,
                    {.num_threads = config.num_threads,
-                    .telemetry = config.telemetry});
+                    .telemetry = config.telemetry,
+                    .run_control = config.run_control});
+  result.outcome = campaign.outcome;
   result.detected = campaign.detected;
   result.detected_after = campaign.detected_after;
   result.undetected = result.faults_total - result.detected;
 
-  if (config.predict_resistance && !faults.empty()) {
+  if (config.predict_resistance && !faults.empty() &&
+      result.outcome == StageOutcome::kCompleted) {
     // SCOAP-predicted random resistance: a fault well above the universe's
     // mean detection difficulty rarely falls to pseudo-random patterns.
     // (Pin faults reuse their gate's stem measures — a close over-estimate
@@ -127,12 +131,23 @@ LbistResult run_lbist(const Netlist& nl, const std::vector<Fault>& faults,
     session_span.arg("predicted_resistant", result.predicted_resistant);
   }
 
-  // Golden signature: MISR over the observed response of every pattern.
+  // Golden signature: MISR over the observed response of every pattern. A
+  // partial signature is worthless (it will never match a full session), so
+  // on an early stop the loop aborts and golden_signature stays empty.
+  if (result.outcome != StageOutcome::kCompleted) return result;
+  RunControl* rc = config.run_control;
   Misr misr(config.misr_bits);
   ParallelSimulator sim(nl);
   const auto observe = nl.observe_points();
   std::vector<bool> response(observe.size());
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    if (rc != nullptr) {
+      const StopReason stop = rc->poll();
+      if (stop != StopReason::kNone) {
+        result.outcome = outcome_from(stop);
+        return result;
+      }
+    }
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
     sim.simulate(pack_patterns(patterns, base, count));
     const auto words = sim.observed_response();

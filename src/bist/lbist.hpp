@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "compress/edt.hpp"  // Misr
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
@@ -36,6 +37,12 @@ struct LbistConfig {
   /// plus `lbist.sessions` / `lbist.patterns` counters; the coverage
   /// campaign inherits the same sink.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null (default) = run to completion. When set, the coverage
+  /// campaign inherits it and the signature loop polls per 64-pattern batch.
+  /// On expiry/cancel the result keeps the partial coverage numbers but the
+  /// golden signature and the SCOAP resistance audit are left unfilled —
+  /// both are only meaningful over the complete session (outcome says so).
+  RunControl* run_control = nullptr;
 };
 
 /// Pseudo-random pattern generator: LFSR plus per-position phase-shifter
@@ -63,6 +70,10 @@ struct LbistResult {
   std::size_t detected = 0;
   std::vector<std::size_t> detected_after;      // coverage curve
   std::vector<std::uint64_t> golden_signature;  // fault-free MISR state
+  /// How the session ended: kCompleted, or kTimedOut/kCancelled when a
+  /// RunControl stopped it early (coverage numbers cover the graded prefix;
+  /// golden_signature and the resistance audit stay empty).
+  StageOutcome outcome = StageOutcome::kCompleted;
 
   // SCOAP random-resistance prediction vs. what the session actually missed
   // (filled when LbistConfig::predict_resistance).

@@ -41,3 +41,14 @@ namespace detail {
       throw ::aidft::Error(msg);                      \
     }                                                 \
   } while (false)
+
+/// Precondition check that names the throwing API: the Error message is
+/// "ctx: msg", so a violation raised deep inside a flow still tells the
+/// user which public entry point rejected their input. Use `ctx` = the
+/// public function name ("run_campaign", "run_dft_flow", ...).
+#define AIDFT_REQUIRE_CTX(expr, ctx, msg)                            \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      throw ::aidft::Error(std::string(ctx) + ": " + (msg));         \
+    }                                                                \
+  } while (false)

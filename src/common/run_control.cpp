@@ -1,0 +1,25 @@
+#include "common/run_control.hpp"
+
+namespace aidft {
+
+const char* to_string(StageOutcome outcome) {
+  switch (outcome) {
+    case StageOutcome::kCompleted: return "completed";
+    case StageOutcome::kTimedOut: return "timed_out";
+    case StageOutcome::kCancelled: return "cancelled";
+    case StageOutcome::kFailed: return "failed";
+    case StageOutcome::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+}  // namespace aidft

@@ -11,7 +11,8 @@ namespace aidft {
 CompressedSessionResult run_compressed_session(
     const Netlist& nl, const ScanPlan& plan, const std::vector<Fault>& faults,
     const std::vector<TestCube>& cubes, const CompressedSessionConfig& config) {
-  AIDFT_REQUIRE(nl.finalized(), "session requires finalized netlist");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "run_compressed_session",
+                    "requires a finalized netlist");
   CompressedSessionResult result;
   result.cubes_offered = cubes.size();
   result.faults_total = faults.size();
@@ -59,9 +60,17 @@ CompressedSessionResult run_compressed_session(
     }
   }
 
+  RunControl* rc = config.run_control;
   Rng pi_rng(config.pi_fill_seed);
   const auto scan_patterns = to_scan_patterns(nl, plan, cubes);
   for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (rc != nullptr && (i & 15) == 0) {
+      const StopReason stop = rc->check();
+      if (stop != StopReason::kNone) {
+        result.outcome = outcome_from(stop);
+        break;
+      }
+    }
     const auto encoded = codec.encode(scan_patterns[i].chain_load);
     if (!encoded) {
       ++result.encode_failures;
@@ -98,8 +107,10 @@ CompressedSessionResult run_compressed_session(
     const CampaignResult r =
         run_campaign(nl, faults, baseline,
                      {.num_threads = config.num_threads,
-                      .telemetry = config.telemetry});
+                      .telemetry = config.telemetry,
+                      .run_control = rc});
     result.detected_baseline = r.detected;
+    if (r.outcome != StageOutcome::kCompleted) result.outcome = r.outcome;
   }
 
   if (result.delivered.empty()) return result;
@@ -132,6 +143,13 @@ CompressedSessionResult run_compressed_session(
   std::vector<bool> chain_diffs(plan.num_chains());
 
   for (std::size_t base = 0; base < result.delivered.size(); base += 64) {
+    if (rc != nullptr) {
+      const StopReason stop = rc->poll();
+      if (stop != StopReason::kNone) {
+        result.outcome = outcome_from(stop);
+        break;
+      }
+    }
     const std::size_t count =
         std::min<std::size_t>(64, result.delivered.size() - base);
     fsim.load_batch(pack_patterns(result.delivered, base, count));

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "compress/edt.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
@@ -29,6 +30,12 @@ struct CompressedSessionConfig {
   /// plus `edt.encode_attempts` / `edt.encode_failures` / `edt.cubes_encoded`
   /// counters; the baseline campaign inherits the same sink.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null (default) = run to completion. When set, the encode
+  /// loop check()s every 16 cubes, the baseline campaign inherits it and the
+  /// compacted-grading loop polls per 64-pattern batch. On expiry/cancel the
+  /// session returns the patterns delivered and detections recorded so far
+  /// (outcome != kCompleted).
+  RunControl* run_control = nullptr;
 };
 
 struct CompressedSessionResult {
@@ -45,6 +52,9 @@ struct CompressedSessionResult {
 
   double stimulus_compression = 0.0;  // scan-cell bits / channel bits
   double response_compression = 0.0;  // chain outputs / compactor outputs
+  /// How the session ended: kCompleted, or kTimedOut/kCancelled when a
+  /// RunControl stopped it early (the result is a valid partial run).
+  StageOutcome outcome = StageOutcome::kCompleted;
 
   double coverage_baseline() const {
     return faults_total == 0

@@ -36,13 +36,20 @@ ChipFlowReport run_chip_flow(const Netlist& core, const ChipFlowOptions& options
       obs::span(options.core_flow.telemetry, "chip.soc_grade", "flow");
   CampaignOptions soc_campaign = options.core_flow.campaign;
   soc_campaign.telemetry = options.core_flow.telemetry;
+  soc_campaign.run_control = options.core_flow.run_control;
+  soc_campaign.checkpoint_path = options.soc_checkpoint_path;
+  soc_campaign.resume_from = options.soc_resume_from;
   const CampaignResult graded =
       run_campaign(soc.netlist, soc_faults, broadcast, soc_campaign);
   report.soc_detected = graded.detected;
+  report.soc_grade_outcome = graded.outcome;
   if (soc_span.active()) {
     soc_span.arg("cores", options.num_cores);
     soc_span.arg("faults", soc_faults.size());
     soc_span.arg("detected", graded.detected);
+    if (graded.outcome != StageOutcome::kCompleted) {
+      soc_span.arg("outcome", to_string(graded.outcome));
+    }
   }
   soc_span.end();
 
@@ -64,6 +71,10 @@ std::string ChipFlowReport::to_string() const {
   ss << "== core flow ==\n" << core.to_string();
   ss << "== chip (replicated cores) ==\n";
   ss << "soc:    " << soc_gates << " gates, " << soc_faults << " faults\n";
+  if (soc_grade_outcome != StageOutcome::kCompleted) {
+    ss << "soc grade " << aidft::to_string(soc_grade_outcome)
+       << " — coverage below is a partial measurement\n";
+  }
   ss << "broadcast coverage on full SoC: " << 100.0 * broadcast_coverage()
      << "% (" << soc_detected << "/" << soc_faults << ")\n";
   ss << "test time (cycles): flat " << flat_cycles << " | per-core sequential "

@@ -21,6 +21,12 @@ struct ChipFlowOptions {
   std::size_t num_cores = 4;
   DftFlowOptions core_flow;
   aichip::TesterConfig tester;
+  /// Checkpoint/resume for the SoC-grade campaign — the longest single
+  /// campaign in the toolkit, so the one worth protecting against lost work.
+  /// Both fields pass straight into CampaignOptions (see campaign.hpp); the
+  /// run-control handle is inherited from core_flow.run_control.
+  std::string soc_checkpoint_path;
+  std::string soc_resume_from;
 };
 
 struct ChipFlowReport {
@@ -28,6 +34,8 @@ struct ChipFlowReport {
   std::size_t soc_gates = 0;
   std::size_t soc_faults = 0;
   std::size_t soc_detected = 0;  // by broadcast patterns, measured on the SoC
+  /// How the SoC-grade campaign ended (kCompleted, or partial on stop).
+  StageOutcome soc_grade_outcome = StageOutcome::kCompleted;
   double broadcast_coverage() const {
     return soc_faults == 0
                ? 1.0

@@ -1,23 +1,65 @@
 #include "core/dft_flow.hpp"
 
 #include <sstream>
+#include <string_view>
 
+#include "common/error.hpp"
 #include "fault/fault.hpp"
 #include "obs/json.hpp"
 
 namespace aidft {
 namespace {
 
+// Records a stage outcome in the report and on the per-outcome counter.
+void record_outcome(DftFlowReport& report, obs::Telemetry* telemetry,
+                    const char* name, StageOutcome outcome) {
+  report.stage_outcomes.emplace_back(name, outcome);
+  if (telemetry != nullptr) {
+    obs::add(telemetry,
+             std::string("flow.stage_outcome.") + to_string(outcome));
+  }
+}
+
 // Runs one flow stage under a `flow.<name>` span and records its wall time
-// in the report. The clock read costs nothing worth gating, so
+// and outcome in the report. The clock read costs nothing worth gating, so
 // stage_seconds fills whether or not a telemetry sink is attached.
+//
+// Run-control semantics: a stage reached after the budget is already
+// exhausted (or cancellation requested) is recorded kSkipped and never runs;
+// stage budgets are keyed on the bare stage name ("atpg" for "flow.atpg") and
+// scoped with begin_stage/end_stage so one stage's budget expiry never bleeds
+// into the next; an aidft::Error thrown by the body is captured as kFailed
+// (with its message in stage_errors) instead of escaping the flow. The body
+// returns the outcome its engine reported (kCompleted for stages without an
+// interruptible engine).
 template <typename Body>
-void run_stage(DftFlowReport& report, obs::Telemetry* telemetry,
-               const char* name, Body&& body) {
+StageOutcome run_stage(DftFlowReport& report, obs::Telemetry* telemetry,
+                       RunControl* rc, const char* name, Body&& body) {
+  // check(), not poll(): stage entry is a serial orchestration boundary, so
+  // it participates in cancel_after_checks() determinism.
+  if (rc != nullptr && rc->check() != StopReason::kNone) {
+    record_outcome(report, telemetry, name, StageOutcome::kSkipped);
+    return StageOutcome::kSkipped;
+  }
+  if (rc != nullptr) {
+    rc->begin_stage(std::string_view(name).substr(sizeof("flow.") - 1));
+  }
   obs::Span stage_span = obs::span(telemetry, name, "flow");
   obs::Stopwatch clock;
-  body();
+  StageOutcome outcome = StageOutcome::kCompleted;
+  try {
+    outcome = body();
+  } catch (const Error& e) {
+    outcome = StageOutcome::kFailed;
+    report.stage_errors.emplace_back(name, e.what());
+  }
+  if (rc != nullptr) rc->end_stage();
   report.stage_seconds.emplace_back(name, clock.seconds());
+  if (outcome != StageOutcome::kCompleted && stage_span.active()) {
+    stage_span.arg("outcome", to_string(outcome));
+  }
+  record_outcome(report, telemetry, name, outcome);
+  return outcome;
 }
 
 }  // namespace
@@ -27,7 +69,44 @@ DftFlowReport run_dft_flow(const Netlist& input, const DftFlowOptions& options) 
                 "run_dft_flow without DRC requires a finalized netlist");
   DftFlowReport report;
   obs::Telemetry* telemetry = options.telemetry;
+  RunControl* rc = options.run_control;
+  const std::uint64_t cancels_before = rc != nullptr ? rc->cancellations() : 0;
   obs::Span flow_span = obs::span(telemetry, "flow.run", "flow");
+
+  // Marks every not-yet-recorded downstream stage kSkipped, so an aborted
+  // report still lists the full plan. Only option-gated stages are known at
+  // abort time; data-gated ones (compression without cubes, power without
+  // patterns) would not have run on the happy path either.
+  const auto skip_downstream = [&] {
+    const std::pair<const char*, bool> rest[] = {
+        {"flow.fault_universe", true},
+        {"flow.scan_plan", true},
+        {"flow.atpg", true},
+        {"flow.compression", options.run_compression},
+        {"flow.lbist", options.run_lbist},
+        {"flow.transition", options.run_transition},
+        {"flow.power", options.run_power},
+    };
+    for (const auto& [name, enabled] : rest) {
+      if (enabled) {
+        record_outcome(report, telemetry, name, StageOutcome::kSkipped);
+      }
+    }
+  };
+  const auto finish = [&] {
+    if (telemetry != nullptr) {
+      flow_span.arg("stages", report.stage_seconds.size());
+      if (report.degraded()) flow_span.arg("degraded", "true");
+      if (rc != nullptr) {
+        // runctl.checks is emitted (as deltas) by the campaigns themselves;
+        // the flow owns the cancellation count to avoid double counting.
+        obs::add(telemetry, "runctl.cancellations",
+                 rc->cancellations() - cancels_before);
+      }
+      flow_span.end();
+      report.metrics = telemetry->metrics.snapshot();
+    }
+  };
 
   // DRC + SCOAP audit first — an unfinalized netlist is allowed here and
   // only here, so structural defects come back as rule violations instead
@@ -38,32 +117,40 @@ DftFlowReport run_dft_flow(const Netlist& input, const DftFlowOptions& options) 
   const Netlist* active = &input;
   if (options.run_drc) {
     report.drc_ran = true;
-    run_stage(report, telemetry, "flow.drc", [&] {
-      DrcOptions drc_opts = options.drc;
-      drc_opts.telemetry = telemetry;
-      report.drc = run_drc(input, drc_opts);
-      if (!report.drc.clean()) return;
-      if (!input.finalized()) {
-        finalized_copy = input;
-        finalized_copy.finalize();
-        active = &finalized_copy;
-      }
-      if (!active->dffs().empty()) {
-        // Scan-stitching self-audit: insert per the same plan the flow will
-        // use and run the chain-integrity rules (D6..D8) on the result.
-        const ScanPlan audit_plan =
-            plan_scan_chains(*active, options.scan_chains);
-        const ScanNetlist audit = insert_scan(*active, audit_plan);
-        check_scan_chains(audit, audit_plan, report.drc, drc_opts);
-      }
-    });
+    const StageOutcome drc_outcome =
+        run_stage(report, telemetry, rc, "flow.drc", [&]() -> StageOutcome {
+          DrcOptions drc_opts = options.drc;
+          drc_opts.telemetry = telemetry;
+          report.drc = run_drc(input, drc_opts);
+          if (!report.drc.clean()) return StageOutcome::kCompleted;
+          if (!input.finalized()) {
+            finalized_copy = input;
+            finalized_copy.finalize();
+            active = &finalized_copy;
+          }
+          if (!active->dffs().empty()) {
+            // Scan-stitching self-audit: insert per the same plan the flow
+            // will use and run the chain-integrity rules (D6..D8) on the
+            // result.
+            const ScanPlan audit_plan =
+                plan_scan_chains(*active, options.scan_chains);
+            const ScanNetlist audit = insert_scan(*active, audit_plan);
+            check_scan_chains(audit, audit_plan, report.drc, drc_opts);
+          }
+          return StageOutcome::kCompleted;
+        });
     if (!report.drc.clean()) {
       report.drc_aborted = true;
-      if (telemetry != nullptr) {
-        flow_span.arg("drc_aborted", "true");
-        flow_span.end();
-        report.metrics = telemetry->metrics.snapshot();
-      }
+      if (telemetry != nullptr) flow_span.arg("drc_aborted", "true");
+      skip_downstream();
+      finish();
+      return report;
+    }
+    // A skipped or failed DRC stage on a raw netlist leaves nothing
+    // finalized to run on — every downstream stage would only throw.
+    if (drc_outcome != StageOutcome::kCompleted && !active->finalized()) {
+      skip_downstream();
+      finish();
       return report;
     }
   }
@@ -72,68 +159,83 @@ DftFlowReport run_dft_flow(const Netlist& input, const DftFlowOptions& options) 
 
   // Fault universe.
   std::vector<Fault> faults;
-  run_stage(report, telemetry, "flow.fault_universe", [&] {
-    const auto universe = generate_stuck_at_faults(nl);
-    report.faults_total = universe.size();
-    faults =
-        options.collapse_faults ? collapse_equivalent(nl, universe) : universe;
-    report.faults_collapsed = faults.size();
-    obs::add(telemetry, "flow.faults_total", report.faults_total);
-    obs::add(telemetry, "flow.faults_collapsed", report.faults_collapsed);
-  });
+  run_stage(report, telemetry, rc, "flow.fault_universe",
+            [&]() -> StageOutcome {
+              const auto universe = generate_stuck_at_faults(nl);
+              report.faults_total = universe.size();
+              faults = options.collapse_faults ? collapse_equivalent(nl, universe)
+                                               : universe;
+              report.faults_collapsed = faults.size();
+              obs::add(telemetry, "flow.faults_total", report.faults_total);
+              obs::add(telemetry, "flow.faults_collapsed",
+                       report.faults_collapsed);
+              return StageOutcome::kCompleted;
+            });
 
   // Scan planning.
-  run_stage(report, telemetry, "flow.scan_plan", [&] {
+  run_stage(report, telemetry, rc, "flow.scan_plan", [&]() -> StageOutcome {
     report.scan_plan = plan_scan_chains(nl, options.scan_chains);
+    return StageOutcome::kCompleted;
   });
 
   // One campaign worker count for every grading stage (see DftFlowOptions).
   const std::size_t num_threads = options.campaign.num_threads;
 
   // ATPG.
-  run_stage(report, telemetry, "flow.atpg", [&] {
+  run_stage(report, telemetry, rc, "flow.atpg", [&]() -> StageOutcome {
     AtpgOptions atpg_opts = options.atpg;
     atpg_opts.num_threads = num_threads;
     atpg_opts.telemetry = telemetry;
+    atpg_opts.run_control = rc;
     report.atpg = generate_tests(nl, faults, atpg_opts);
     report.scan_time.patterns = report.atpg.patterns.size();
     report.scan_time.max_chain_length = report.scan_plan.max_chain_length();
+    return report.atpg.outcome;
   });
 
-  // Compression (deterministic cubes only — X density is the fuel).
+  // Compression (deterministic cubes only — X density is the fuel). A
+  // partial ATPG pattern set still compresses soundly: the stage grades
+  // whatever cubes exist.
   if (options.run_compression && !nl.dffs().empty() &&
       !report.atpg.cubes.empty()) {
     report.compression_ran = true;
-    run_stage(report, telemetry, "flow.compression", [&] {
-      CompressedSessionConfig compression_opts = options.compression;
-      compression_opts.num_threads = num_threads;
-      compression_opts.telemetry = telemetry;
-      report.compression = run_compressed_session(
-          nl, report.scan_plan, faults, report.atpg.cubes, compression_opts);
-    });
+    run_stage(report, telemetry, rc, "flow.compression",
+              [&]() -> StageOutcome {
+                CompressedSessionConfig compression_opts = options.compression;
+                compression_opts.num_threads = num_threads;
+                compression_opts.telemetry = telemetry;
+                compression_opts.run_control = rc;
+                report.compression =
+                    run_compressed_session(nl, report.scan_plan, faults,
+                                           report.atpg.cubes, compression_opts);
+                return report.compression.outcome;
+              });
   }
 
   // LBIST sign-off.
   if (options.run_lbist) {
     report.lbist_ran = true;
-    run_stage(report, telemetry, "flow.lbist", [&] {
+    run_stage(report, telemetry, rc, "flow.lbist", [&]() -> StageOutcome {
       LbistConfig lbist_opts = options.lbist;
       lbist_opts.num_threads = num_threads;
       lbist_opts.telemetry = telemetry;
+      lbist_opts.run_control = rc;
       report.lbist = run_lbist(nl, faults, lbist_opts);
+      return report.lbist.outcome;
     });
   }
 
   // Transition-delay test on the same collapsed lines.
   if (options.run_transition) {
     report.transition_ran = true;
-    run_stage(report, telemetry, "flow.transition", [&] {
+    run_stage(report, telemetry, rc, "flow.transition", [&]() -> StageOutcome {
       TransitionAtpgOptions transition_opts = options.transition;
       transition_opts.num_threads = num_threads;
       transition_opts.telemetry = telemetry;
+      transition_opts.run_control = rc;
       const auto tfaults = generate_transition_faults(nl);
-      report.transition =
-          generate_transition_tests(nl, tfaults, transition_opts);
+      report.transition = generate_transition_tests(nl, tfaults, transition_opts);
+      return report.transition.outcome;
     });
   }
 
@@ -141,18 +243,34 @@ DftFlowReport run_dft_flow(const Netlist& input, const DftFlowOptions& options) 
   if (options.run_power && !nl.dffs().empty() &&
       !report.atpg.patterns.empty()) {
     report.power_ran = true;
-    run_stage(report, telemetry, "flow.power", [&] {
+    run_stage(report, telemetry, rc, "flow.power", [&]() -> StageOutcome {
       report.power = shift_power(nl, report.scan_plan, report.atpg.patterns);
+      return StageOutcome::kCompleted;
     });
   }
 
-  if (telemetry != nullptr) {
-    flow_span.arg("stages", report.stage_seconds.size());
-    flow_span.end();
-    report.metrics = telemetry->metrics.snapshot();
-  }
+  finish();
   return report;
 }
+
+namespace {
+
+// One-line digest of every stage that did not complete; empty on the happy
+// path so the report text is unchanged for uninterrupted runs.
+std::string outcome_digest(
+    const std::vector<std::pair<std::string, StageOutcome>>& stage_outcomes) {
+  std::ostringstream ss;
+  bool any = false;
+  for (const auto& [stage, outcome] : stage_outcomes) {
+    if (outcome == StageOutcome::kCompleted) continue;
+    ss << (any ? " " : "runctl: ") << stage << "=" << to_string(outcome);
+    any = true;
+  }
+  if (any) ss << "\n";
+  return ss.str();
+}
+
+}  // namespace
 
 std::string DftFlowReport::to_string() const {
   std::ostringstream ss;
@@ -169,6 +287,7 @@ std::string DftFlowReport::to_string() const {
     }
     if (drc_aborted) {
       ss << "flow:   ABORTED on DRC errors — no patterns generated\n";
+      ss << outcome_digest(stage_outcomes);
       return ss.str();
     }
   }
@@ -207,6 +326,10 @@ std::string DftFlowReport::to_string() const {
   if (power_ran) {
     ss << "power:  avg WTM/pattern " << power.avg_wtm_per_pattern << ", peak "
        << power.peak_wtm_pattern << "\n";
+  }
+  ss << outcome_digest(stage_outcomes);
+  for (const auto& [stage, what] : stage_errors) {
+    ss << "error:  " << stage << ": " << what << "\n";
   }
   return ss.str();
 }
@@ -300,6 +423,20 @@ std::string DftFlowReport::to_json() const {
     w.field(stage, seconds);
   }
   w.end_object();
+
+  w.key("stage_outcomes").begin_object();
+  for (const auto& [stage, outcome] : stage_outcomes) {
+    w.field(stage, aidft::to_string(outcome));
+  }
+  w.end_object();
+
+  if (!stage_errors.empty()) {
+    w.key("stage_errors").begin_object();
+    for (const auto& [stage, what] : stage_errors) {
+      w.field(stage, what);
+    }
+    w.end_object();
+  }
 
   // MetricsSnapshot::to_json emits a complete JSON object, spliced verbatim.
   w.key("metrics").raw(metrics.to_json());

@@ -14,6 +14,7 @@
 #include "atpg/atpg.hpp"
 #include "atpg/transition_atpg.hpp"
 #include "bist/lbist.hpp"
+#include "common/run_control.hpp"
 #include "compress/session.hpp"
 #include "drc/drc.hpp"
 #include "fsim/campaign.hpp"
@@ -60,6 +61,15 @@ struct DftFlowOptions {
   /// threads the sink through every stage (ATPG, campaigns, EDT, LBIST,
   /// transition), and snapshots all counters into DftFlowReport::metrics.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control: null (the default) = run to completion. When set, the
+  /// facade threads the handle through every stage, honours per-stage
+  /// budgets (set_stage_budget with the bare stage key: "drc", "atpg",
+  /// "compression", ...), and degrades gracefully on expiry/cancel: the
+  /// interrupted stage returns its partial result, stages never reached are
+  /// recorded kSkipped, and the report stays well-formed (to_json included).
+  /// A stage that throws aidft::Error is recorded kFailed and the flow
+  /// continues with the stages that do not depend on it.
+  RunControl* run_control = nullptr;
 };
 
 struct DftFlowReport {
@@ -85,9 +95,25 @@ struct DftFlowReport {
   /// Wall-clock per executed stage, in flow order (stage name, seconds).
   /// Filled unconditionally — timing costs one clock read per stage.
   std::vector<std::pair<std::string, double>> stage_seconds;
+  /// How every stage ended, in flow order — including stages that never ran
+  /// (kSkipped: budget exhausted before they were reached, or an upstream
+  /// abort). Filled unconditionally; an all-kCompleted vector is the happy
+  /// path. Stage names match stage_seconds ("flow.atpg", ...).
+  std::vector<std::pair<std::string, StageOutcome>> stage_outcomes;
+  /// Error text per kFailed stage (stage name, aidft::Error::what()).
+  std::vector<std::pair<std::string, std::string>> stage_errors;
   /// Counter/gauge/histogram snapshot taken at flow end when a telemetry
   /// sink was attached; empty otherwise.
   obs::MetricsSnapshot metrics;
+
+  /// True when any stage ended in something other than kCompleted — the
+  /// report is a valid partial result, not a full signoff.
+  bool degraded() const {
+    for (const auto& [stage, outcome] : stage_outcomes) {
+      if (outcome != StageOutcome::kCompleted) return true;
+    }
+    return false;
+  }
 
   /// Multi-line summary suitable for printing.
   std::string to_string() const;

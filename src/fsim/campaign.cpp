@@ -12,12 +12,27 @@
 // needs no further simulation (detected drop_limit times, or its owner
 // exhausted the pattern stream). Workers consult the campaign-wide remaining
 // count between batches and stop streaming as soon as it hits zero.
+//
+// Run control and checkpointing: when a RunControl and/or checkpoint path is
+// configured, the batch stream is cut into rounds of
+// `checkpoint_every_batches` batches. Rounds are barriers — every shard
+// finishes the round (workers keep their FaultSimulator and alive list
+// across rounds, and a persistent ThreadPool keeps workers warm) before the
+// serial orchestrator check()s the RunControl and, at the configured
+// cadence, snapshots the shared per-fault state into a CampaignCheckpoint.
+// `batches_done` only ever advances at a completed barrier, which is what
+// makes a resumed run bit-identical to an uninterrupted one (see
+// fsim/checkpoint.hpp for why partial progress past the barrier is safe).
+// Without run control or checkpointing the whole stream is one round and
+// the hot loop costs exactly one null-pointer compare per batch.
 #include "fsim/campaign.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "common/thread_pool.hpp"
+#include "fsim/checkpoint.hpp"
 #include "fsim/fault_sim.hpp"
 
 namespace aidft {
@@ -38,8 +53,31 @@ class DropMap {
     if ((prev & bit) == 0) remaining_.fetch_sub(1, std::memory_order_relaxed);
   }
 
+  bool dropped(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ull;
+  }
+
   bool campaign_done() const {
     return remaining_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Restores a bitmap snapshot (checkpoint resume; call before workers run).
+  void restore(const std::vector<std::uint64_t>& words) {
+    std::size_t dropped_count = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w].store(words[w], std::memory_order_relaxed);
+      dropped_count += static_cast<std::size_t>(__builtin_popcountll(words[w]));
+    }
+    remaining_.fetch_sub(dropped_count, std::memory_order_relaxed);
+  }
+
+  /// Plain copy of the bitmap (checkpoint save; call only at a barrier).
+  std::vector<std::uint64_t> snapshot() const {
+    std::vector<std::uint64_t> words(words_.size());
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words[w] = words_[w].load(std::memory_order_relaxed);
+    }
+    return words;
   }
 
  private:
@@ -50,9 +88,11 @@ class DropMap {
 void validate_patterns(const Netlist& nl, const std::vector<TestCube>& patterns) {
   const std::size_t width = nl.combinational_inputs().size();
   for (const auto& p : patterns) {
-    AIDFT_REQUIRE(p.size() == width, "pattern width mismatch");
+    AIDFT_REQUIRE_CTX(p.size() == width, "run_campaign",
+                      "pattern width mismatch");
     for (Val3 v : p.bits) {
-      AIDFT_REQUIRE(v != Val3::kX, "campaign patterns must be fully specified");
+      AIDFT_REQUIRE_CTX(v != Val3::kX, "run_campaign",
+                        "campaign patterns must be fully specified");
     }
   }
 }
@@ -111,6 +151,17 @@ void finalize_result(CampaignResult& r, std::size_t npatterns) {
   }
 }
 
+// Per-shard state that survives round barriers: the contiguous fault range,
+// the still-alive subset, and the worker's private simulator (constructed
+// lazily on the worker's first round so its caches live near that worker).
+struct ShardState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<std::size_t> alive;
+  std::optional<FaultSimulator> fsim;
+  std::uint64_t events_flushed = 0;
+};
+
 // The sharded engine, shared by both fault models. `grade` maps
 // (FaultSimulator&, fault, capture_batch) to a detect mask; `needs_launch`
 // says whether a fault requires the launch batch (transition faults).
@@ -132,7 +183,43 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
   const std::vector<PatternBatch> launch =
       any_launch ? pack_launch_batches(patterns) : std::vector<PatternBatch>{};
 
+  RunControl* rc = options.run_control;
+  const bool orchestrated = rc != nullptr || !options.checkpoint_path.empty() ||
+                            !options.resume_from.empty();
+  const std::size_t total_batches = capture.size();
+  const std::size_t round_batches =
+      orchestrated ? std::max<std::size_t>(1, options.checkpoint_every_batches)
+                   : total_batches;
+
+  // Shared per-fault state; each entry is written by exactly one shard, and
+  // the round barrier (ThreadPool join) orders worker writes before the
+  // orchestrator's checkpoint reads.
+  std::vector<std::uint64_t> hits(faults.size(), 0);
   DropMap drops(faults.size());
+  std::size_t batches_done = 0;
+  if (!options.resume_from.empty()) {
+    const CampaignCheckpoint ckpt =
+        load_campaign_checkpoint(options.resume_from);
+    AIDFT_REQUIRE_CTX(ckpt.total_faults == faults.size(), "run_campaign",
+                      "resume checkpoint fault count (" +
+                          std::to_string(ckpt.total_faults) +
+                          ") does not match the live fault list (" +
+                          std::to_string(faults.size()) + ")");
+    AIDFT_REQUIRE_CTX(ckpt.total_patterns == patterns.size(), "run_campaign",
+                      "resume checkpoint pattern count (" +
+                          std::to_string(ckpt.total_patterns) +
+                          ") does not match the live pattern set (" +
+                          std::to_string(patterns.size()) + ")");
+    AIDFT_REQUIRE_CTX(ckpt.drop_limit == options.drop_limit, "run_campaign",
+                      "resume checkpoint drop_limit differs from options");
+    AIDFT_REQUIRE_CTX(ckpt.batches_done <= total_batches, "run_campaign",
+                      "resume checkpoint is ahead of the pattern stream");
+    r.first_detected_by = ckpt.first_detected_by;
+    hits = ckpt.hits;
+    drops.restore(ckpt.dropped);
+    batches_done = static_cast<std::size_t>(ckpt.batches_done);
+  }
+
   const std::size_t num_threads =
       std::min(resolve_threads(options.num_threads), faults.size());
 
@@ -146,33 +233,48 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
   obs::add(telemetry, "campaign.runs");
   obs::add(telemetry, "campaign.faults", faults.size());
   obs::add(telemetry, "campaign.patterns", patterns.size());
+  const std::uint64_t checks_before = rc != nullptr ? rc->checks() : 0;
 
-  // Workers write only first_detected_by[i] for i inside their own shard, so
-  // the merge of per-shard results is race-free; the min-pattern-index rule
-  // holds trivially because each fault has a single owner that scans batches
-  // in stream order.
-  parallel_for(num_threads, faults.size(), [&](std::size_t shard,
-                                               std::size_t begin,
-                                               std::size_t end) {
-    obs::Span shard_span =
-        obs::span(telemetry, "campaign.shard", "campaign");
+  // Workers write only first_detected_by[i] / hits[i] for i inside their own
+  // shard, so the merge of per-shard results is race-free; the
+  // min-pattern-index rule holds trivially because each fault has a single
+  // owner that scans batches in stream order.
+  std::vector<ShardState> shards(num_threads);
+  for (std::size_t s = 0; s < num_threads; ++s) {
+    shards[s].begin = s * faults.size() / num_threads;
+    shards[s].end = (s + 1) * faults.size() / num_threads;
+    shards[s].alive.reserve(shards[s].end - shards[s].begin);
+    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      if (!drops.dropped(i)) shards[s].alive.push_back(i);
+    }
+  }
+
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+
+  std::atomic<bool> round_incomplete{false};
+  const auto run_shard = [&](std::size_t s, std::size_t round_begin,
+                             std::size_t round_end) {
+    ShardState& shard = shards[s];
+    obs::Span shard_span = obs::span(telemetry, "campaign.shard", "campaign");
     obs::Stopwatch shard_clock;
     std::size_t batches_run = 0;
     std::size_t dropped_here = 0;
+    if (!shard.fsim && !shard.alive.empty()) shard.fsim.emplace(nl);
 
-    FaultSimulator fsim(nl);
-    std::vector<std::size_t> alive;
-    alive.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) alive.push_back(i);
-    std::vector<std::size_t> hits(end - begin, 0);
-
-    for (std::size_t b = 0; b < capture.size() && !alive.empty(); ++b) {
+    for (std::size_t b = round_begin;
+         b < round_end && !shard.alive.empty(); ++b) {
       if (drops.campaign_done()) break;  // cross-shard early exit
+      if (rc != nullptr && rc->poll() != StopReason::kNone) {
+        round_incomplete.store(true, std::memory_order_relaxed);
+        break;
+      }
       ++batches_run;
+      FaultSimulator& fsim = *shard.fsim;
       fsim.load_batch(capture[b]);
       if (!launch.empty()) {
         bool shard_needs_launch = false;
-        for (std::size_t i : alive) {
+        for (std::size_t i : shard.alive) {
           if (needs_launch(faults[i])) {
             shard_needs_launch = true;
             break;
@@ -182,17 +284,16 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
       }
 
       std::vector<std::size_t> still;
-      still.reserve(alive.size());
-      for (std::size_t i : alive) {
+      still.reserve(shard.alive.size());
+      for (std::size_t i : shard.alive) {
         const std::uint64_t mask = grade(fsim, faults[i], capture[b]);
         if (mask != 0) {
           if (r.first_detected_by[i] < 0) {
             r.first_detected_by[i] = static_cast<std::int64_t>(
                 b * 64 + static_cast<std::size_t>(__builtin_ctzll(mask)));
           }
-          hits[i - begin] +=
-              static_cast<std::size_t>(__builtin_popcountll(mask));
-          if (options.drop_limit != 0 && hits[i - begin] >= options.drop_limit) {
+          hits[i] += static_cast<std::uint64_t>(__builtin_popcountll(mask));
+          if (options.drop_limit != 0 && hits[i] >= options.drop_limit) {
             drops.drop(i);
             ++dropped_here;
             continue;
@@ -200,30 +301,100 @@ CampaignResult run_sharded(const Netlist& nl, std::span<const FaultT> faults,
         }
         still.push_back(i);
       }
-      alive = std::move(still);
+      shard.alive = std::move(still);
     }
     // Shard exhausted the stream: retire the survivors so campaign_done()
-    // converges for the other shards.
-    for (std::size_t i : alive) drops.drop(i);
+    // converges for the other shards. Never on an early stop — survivors
+    // still need the unapplied patterns after a resume.
+    if (round_end == total_batches &&
+        !round_incomplete.load(std::memory_order_relaxed)) {
+      for (std::size_t i : shard.alive) drops.drop(i);
+    }
 
-    // Telemetry is flushed once per shard — the hot loop above only bumps
-    // plain locals (and FaultSimulator's event tally).
+    // Telemetry is flushed once per shard-round — the hot loop above only
+    // bumps plain locals (and FaultSimulator's event tally).
     if (telemetry != nullptr) {
+      const std::uint64_t events =
+          shard.fsim ? shard.fsim->events_simulated() : 0;
       obs::add(telemetry, "campaign.batches", batches_run);
       obs::add(telemetry, "campaign.faults_dropped", dropped_here);
-      obs::add(telemetry, "fsim.events", fsim.events_simulated());
+      obs::add(telemetry, "fsim.events", events - shard.events_flushed);
       obs::observe(telemetry, "campaign.shard_us", shard_clock.micros());
-      shard_span.arg("shard", shard);
-      shard_span.arg("faults", end - begin);
+      shard_span.arg("shard", s);
+      shard_span.arg("faults", shard.end - shard.begin);
       shard_span.arg("batches", batches_run);
       shard_span.arg("dropped", dropped_here);
-      shard_span.arg("fsim_events", fsim.events_simulated());
+      shard_span.arg("fsim_events", events - shard.events_flushed);
+      shard.events_flushed = events;
     }
-  });
+  };
+
+  while (batches_done < total_batches && !drops.campaign_done()) {
+    if (rc != nullptr) {
+      const StopReason stop = rc->check();
+      if (stop != StopReason::kNone) {
+        r.outcome = outcome_from(stop);
+        break;
+      }
+    }
+    const std::size_t round_end =
+        std::min(batches_done + round_batches, total_batches);
+    if (pool) {
+      pool->parallel_for(num_threads,
+                         [&](std::size_t, std::size_t begin, std::size_t end) {
+                           for (std::size_t s = begin; s < end; ++s) {
+                             run_shard(s, batches_done, round_end);
+                           }
+                         });
+    } else {
+      run_shard(0, batches_done, round_end);
+    }
+    if (round_incomplete.load(std::memory_order_relaxed)) {
+      // A worker observed a stop mid-round; batches_done stays at the last
+      // completed barrier so the checkpoint below stays resumable.
+      r.outcome = outcome_from(rc->poll());
+      break;
+    }
+    batches_done = round_end;
+    if (!options.checkpoint_path.empty() && batches_done < total_batches &&
+        !drops.campaign_done()) {
+      CampaignCheckpoint ckpt;
+      ckpt.drop_limit = options.drop_limit;
+      ckpt.total_faults = faults.size();
+      ckpt.total_patterns = patterns.size();
+      ckpt.batches_done = batches_done;
+      ckpt.first_detected_by = r.first_detected_by;
+      ckpt.hits = hits;
+      ckpt.dropped = drops.snapshot();
+      save_campaign_checkpoint(ckpt, options.checkpoint_path);
+    }
+  }
+  if (r.outcome != StageOutcome::kCompleted &&
+      !options.checkpoint_path.empty()) {
+    // Final checkpoint on an early stop. Partial in-round progress recorded
+    // in first_detected_by/hits/drops is safe to keep (see checkpoint.hpp).
+    CampaignCheckpoint ckpt;
+    ckpt.drop_limit = options.drop_limit;
+    ckpt.total_faults = faults.size();
+    ckpt.total_patterns = patterns.size();
+    ckpt.batches_done = batches_done;
+    ckpt.first_detected_by = r.first_detected_by;
+    ckpt.hits = hits;
+    ckpt.dropped = drops.snapshot();
+    save_campaign_checkpoint(ckpt, options.checkpoint_path);
+  }
+  r.batches_graded =
+      r.outcome == StageOutcome::kCompleted ? total_batches : batches_done;
 
   finalize_result(r, patterns.size());
   obs::add(telemetry, "campaign.faults_detected", r.detected);
-  if (run_span.active()) run_span.arg("detected", r.detected);
+  if (rc != nullptr) {
+    obs::add(telemetry, "runctl.checks", rc->checks() - checks_before);
+  }
+  if (run_span.active()) {
+    run_span.arg("detected", r.detected);
+    run_span.arg("outcome", to_string(r.outcome));
+  }
   return r;
 }
 
@@ -234,8 +405,8 @@ CampaignResult run_campaign(const Netlist& netlist, std::span<const Fault> fault
                             const CampaignOptions& options) {
   if (options.engine == CampaignEngine::kReference) {
     for (const Fault& f : faults) {
-      AIDFT_REQUIRE(f.kind == FaultKind::kStuckAt,
-                    "reference engine grades stuck-at faults only");
+      AIDFT_REQUIRE_CTX(f.kind == FaultKind::kStuckAt, "run_campaign",
+                        "reference engine grades stuck-at faults only");
     }
     return run_sharded(
         netlist, faults, patterns, options,
@@ -256,8 +427,8 @@ CampaignResult run_campaign(const Netlist& netlist,
                             std::span<const BridgingFault> faults,
                             const std::vector<TestCube>& patterns,
                             const CampaignOptions& options) {
-  AIDFT_REQUIRE(options.engine == CampaignEngine::kPpsfp,
-                "bridging campaigns have no reference engine");
+  AIDFT_REQUIRE_CTX(options.engine == CampaignEngine::kPpsfp, "run_campaign",
+                    "bridging campaigns have no reference engine");
   return run_sharded(
       netlist, faults, patterns, options,
       [](FaultSimulator& fsim, const BridgingFault& f, const PatternBatch&) {

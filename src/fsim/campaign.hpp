@@ -27,8 +27,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "fault/bridging.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
@@ -56,6 +58,27 @@ struct CampaignOptions {
   /// `campaign.shard` span per worker (thread imbalance is visible on the
   /// trace timeline) plus `campaign.*` / `fsim.events` counters.
   obs::Telemetry* telemetry = nullptr;
+  /// Run control (see common/run_control.hpp): null (the default) runs to
+  /// completion. When set, the campaign is restructured into rounds of
+  /// `checkpoint_every_batches` batches: the orchestrator check()s between
+  /// rounds and workers poll() once per 64-pattern batch, so a deadline or
+  /// cancellation stops the run within one batch per worker and run_campaign
+  /// returns a well-formed partial CampaignResult (outcome != kCompleted)
+  /// instead of throwing.
+  RunControl* run_control = nullptr;
+  /// When non-empty, a CampaignCheckpoint (fsim/checkpoint.hpp) is saved
+  /// here after every round and once more on an early stop, atomically.
+  std::string checkpoint_path;
+  /// Round granularity: 64-pattern batches per round. Only meaningful when
+  /// run control and/or checkpointing is active (otherwise the whole stream
+  /// is one round and the hot loop is untouched).
+  std::size_t checkpoint_every_batches = 64;
+  /// When non-empty, resume from this checkpoint file instead of starting
+  /// fresh. The file's geometry (fault count, pattern count, drop_limit)
+  /// must match the live call; the final CampaignResult is bit-identical to
+  /// an uninterrupted run, for every thread count. Throws aidft::Error on a
+  /// missing/corrupt/version-mismatched file.
+  std::string resume_from;
 };
 
 /// Result of grading a pattern set against a fault list.
@@ -67,6 +90,16 @@ struct CampaignResult {
   std::vector<std::int64_t> first_detected_by;
   /// Cumulative detected count after pattern i (coverage curve).
   std::vector<std::size_t> detected_after;
+  /// How the campaign ended: kCompleted for a full run, kTimedOut/kCancelled
+  /// when a RunControl stopped it early. A stopped result is still
+  /// well-formed — every recorded detection is real, and the counts cover
+  /// the graded prefix of the pattern stream.
+  StageOutcome outcome = StageOutcome::kCompleted;
+  /// 64-pattern batches that every fault has been graded against (the round
+  /// barrier reached). On an early stop this is the resumable prefix;
+  /// individual shards may have partial progress beyond it, which resume
+  /// handles (see fsim/checkpoint.hpp).
+  std::size_t batches_graded = 0;
 
   double coverage() const {
     return total_faults == 0

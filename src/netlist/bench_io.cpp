@@ -45,14 +45,30 @@ struct PendingGate {
   int line;
 };
 
-[[noreturn]] void fail(int line, const std::string& msg) {
-  throw Error(".bench line " + std::to_string(line) + ": " + msg);
+// Echo of offending input for error messages, capped and made printable so
+// a multi-megabyte or binary line cannot blow up the exception text.
+std::string excerpt(const std::string& s) {
+  constexpr std::size_t kMax = 80;
+  std::string out = s.substr(0, std::min(kMax, s.size()));
+  for (char& c : out) {
+    if (!std::isprint(static_cast<unsigned char>(c))) c = '?';
+  }
+  if (s.size() > kMax) out += "...";
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& file, int line,
+                       const std::string& msg) {
+  throw Error(file + ":" + std::to_string(line) + ": " + msg);
 }
 
 }  // namespace
 
 Netlist read_bench(std::istream& in, std::string circuit_name) {
-  std::vector<std::string> input_names;
+  // Every parse error carries `<src>:<line>` — the file path when coming
+  // from read_bench_file, the circuit name otherwise.
+  const std::string src = circuit_name;
+  std::vector<std::pair<std::string, int>> input_names;   // name, line
   std::vector<std::pair<std::string, int>> output_names;  // name, line
   std::vector<PendingGate> defs;
 
@@ -73,13 +89,13 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       const std::size_t close = line.rfind(')');
       if (open == std::string::npos || close == std::string::npos ||
           close <= open) {
-        fail(line_no, "malformed declaration: " + raw);
+        fail(src, line_no, "malformed declaration: " + excerpt(raw));
       }
       return strip(line.substr(open + 1, close - open - 1));
     };
 
     if (uline.rfind("INPUT", 0) == 0 && uline.find('=') == std::string::npos) {
-      input_names.push_back(paren_arg(5));
+      input_names.emplace_back(paren_arg(5), line_no);
       continue;
     }
     if (uline.rfind("OUTPUT", 0) == 0 && uline.find('=') == std::string::npos) {
@@ -88,19 +104,24 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
     }
 
     const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) fail(line_no, "expected '=': " + raw);
+    if (eq == std::string::npos) {
+      fail(src, line_no, "expected '=': " + excerpt(raw));
+    }
     PendingGate pg;
     pg.name = strip(line.substr(0, eq));
     pg.line = line_no;
+    if (pg.name.empty()) {
+      fail(src, line_no, "missing signal name before '=': " + excerpt(raw));
+    }
     std::string rhs = strip(line.substr(eq + 1));
     const std::size_t open = rhs.find('(');
     const std::size_t close = rhs.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close < open) {
-      fail(line_no, "expected TYPE(args): " + raw);
+      fail(src, line_no, "expected TYPE(args): " + excerpt(raw));
     }
     const std::string kw = upper(strip(rhs.substr(0, open)));
     const auto type = parse_type(kw);
-    if (!type) fail(line_no, "unknown gate type '" + kw + "'");
+    if (!type) fail(src, line_no, "unknown gate type '" + excerpt(kw) + "'");
     pg.type = *type;
     std::string args = rhs.substr(open + 1, close - open - 1);
     std::stringstream ss(args);
@@ -114,28 +135,44 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
 
   Netlist netlist(std::move(circuit_name));
   std::unordered_map<std::string, GateId> ids;
-  for (const auto& name : input_names) {
-    if (ids.count(name)) throw Error("duplicate INPUT " + name);
+  for (const auto& [name, line] : input_names) {
+    if (ids.count(name)) fail(src, line, "duplicate INPUT " + excerpt(name));
     ids.emplace(name, netlist.add_input(name));
   }
   for (const auto& pg : defs) {
-    if (ids.count(pg.name)) fail(pg.line, "duplicate signal " + pg.name);
+    if (ids.count(pg.name)) {
+      fail(src, pg.line, "duplicate signal " + excerpt(pg.name));
+    }
     ids.emplace(pg.name, netlist.add_gate(pg.type, pg.name));
   }
   for (const auto& pg : defs) {
     const GateId sink = ids.at(pg.name);
     for (const auto& fn : pg.fanin_names) {
+      if (fn == pg.name) {
+        fail(src, pg.line,
+             "recursive definition: '" + excerpt(fn) + "' feeds itself");
+      }
       auto it = ids.find(fn);
-      if (it == ids.end()) fail(pg.line, "undefined signal '" + fn + "'");
+      if (it == ids.end()) {
+        fail(src, pg.line, "undefined signal '" + excerpt(fn) + "'");
+      }
       netlist.connect(it->second, sink);
     }
   }
   for (const auto& [name, line] : output_names) {
     auto it = ids.find(name);
-    if (it == ids.end()) fail(line, "OUTPUT of undefined signal '" + name + "'");
+    if (it == ids.end()) {
+      fail(src, line, "OUTPUT of undefined signal '" + excerpt(name) + "'");
+    }
     netlist.add_output(it->second, "out_" + name);
   }
-  netlist.finalize();
+  // Structural defects only finalize() can see (multi-gate combinational
+  // cycles, arity violations) get the file context attached here.
+  try {
+    netlist.finalize();
+  } catch (const Error& e) {
+    throw Error(src + ": " + e.what());
+  }
   return netlist;
 }
 

@@ -226,7 +226,8 @@ std::uint64_t SatSolver::luby(std::uint64_t i) {
 }
 
 SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
-                           std::int64_t conflict_limit) {
+                           std::int64_t conflict_limit,
+                           RunControl* run_control) {
   stats_ = Stats{};
   if (root_unsat_) return SatResult::kUnsat;
   backtrack(0);
@@ -261,6 +262,11 @@ SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
       decay_activity();
       if (conflict_limit >= 0 &&
           stats_.conflicts >= static_cast<std::uint64_t>(conflict_limit)) {
+        backtrack(0);
+        return SatResult::kUnknown;
+      }
+      if (run_control != nullptr && (stats_.conflicts & 1023) == 0 &&
+          run_control->poll() != StopReason::kNone) {
         backtrack(0);
         return SatResult::kUnknown;
       }

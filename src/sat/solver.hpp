@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/run_control.hpp"
 
 namespace aidft {
 
@@ -62,9 +63,12 @@ class SatSolver {
   bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
 
   /// Solves under `assumptions`. `conflict_limit < 0` means no limit;
-  /// hitting the limit returns kUnknown (the ATPG abort mechanism).
+  /// hitting the limit returns kUnknown (the ATPG abort mechanism). A
+  /// non-null `run_control` is polled every 1024 conflicts; expiry or
+  /// cancellation also returns kUnknown.
   SatResult solve(const std::vector<Lit>& assumptions = {},
-                  std::int64_t conflict_limit = -1);
+                  std::int64_t conflict_limit = -1,
+                  RunControl* run_control = nullptr);
 
   /// Value of `var` in the satisfying model (valid after kSat).
   bool model_value(std::uint32_t var) const {

@@ -20,8 +20,10 @@ std::size_t ScanPlan::total_cells() const {
 }
 
 ScanPlan plan_scan_chains(const Netlist& nl, std::size_t num_chains) {
-  AIDFT_REQUIRE(nl.finalized(), "plan_scan_chains requires finalized netlist");
-  AIDFT_REQUIRE(num_chains >= 1, "need at least one chain");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "plan_scan_chains",
+                    "requires a finalized netlist");
+  AIDFT_REQUIRE_CTX(num_chains >= 1, "plan_scan_chains",
+                    "need at least one chain");
   ScanPlan plan;
   plan.chains.resize(std::min(num_chains, std::max<std::size_t>(1, nl.dffs().size())));
   if (nl.dffs().empty()) {
@@ -38,20 +40,23 @@ ScanPlan plan_scan_chains(const Netlist& nl, std::size_t num_chains) {
 }
 
 ScanNetlist insert_scan(const Netlist& nl, const ScanPlan& plan) {
-  AIDFT_REQUIRE(nl.finalized(), "insert_scan requires finalized netlist");
+  AIDFT_REQUIRE_CTX(nl.finalized(), "insert_scan",
+                    "requires a finalized netlist");
   // Every flop must be covered exactly once.
   std::vector<std::size_t> chain_of(nl.num_gates(), SIZE_MAX);
   std::size_t covered = 0;
   for (std::size_t c = 0; c < plan.chains.size(); ++c) {
     for (GateId ff : plan.chains[c].cells) {
-      AIDFT_REQUIRE(ff < nl.num_gates() && nl.type(ff) == GateType::kDff,
-                    "scan plan references a non-flop gate");
-      AIDFT_REQUIRE(chain_of[ff] == SIZE_MAX, "flop in two chains");
+      AIDFT_REQUIRE_CTX(ff < nl.num_gates() && nl.type(ff) == GateType::kDff,
+                        "insert_scan", "scan plan references a non-flop gate");
+      AIDFT_REQUIRE_CTX(chain_of[ff] == SIZE_MAX, "insert_scan",
+                        "flop in two chains");
       chain_of[ff] = c;
       ++covered;
     }
   }
-  AIDFT_REQUIRE(covered == nl.dffs().size(), "scan plan must cover all flops");
+  AIDFT_REQUIRE_CTX(covered == nl.dffs().size(), "insert_scan",
+                    "scan plan must cover all flops");
 
   ScanNetlist out;
   out.netlist.set_name(nl.name() + "_scan");

@@ -283,5 +283,57 @@ TEST(Generators, StandardSuiteAllFinalize) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: every file under tests/data/bad_bench/ must be
+// rejected with an aidft::Error whose message carries <file>:<line> context
+// — never a crash, hang, or unbounded error string (the corpus includes a
+// 64KB line and raw non-UTF8 bytes; ASan/UBSan runs keep this honest).
+
+TEST(BenchIo, MalformedCorpusRejectedWithFileLineContext) {
+  const std::string dir = std::string(AIDFT_TEST_DATA_DIR) + "/bad_bench/";
+  const char* corpus[] = {
+      "truncated.bench",      "duplicate_gate.bench", "duplicate_input.bench",
+      "undefined_fanin.bench", "recursive.bench",      "cycle.bench",
+      "missing_name.bench",   "unknown_gate.bench",   "no_equals.bench",
+      "undefined_output.bench", "big_line.bench",     "non_utf8.bench",
+  };
+  for (const char* name : corpus) {
+    const std::string path = dir + name;
+    try {
+      read_bench_file(path);
+      FAIL() << name << " parsed without error";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos)
+          << name << ": message lacks file context: " << what;
+      EXPECT_LT(what.size(), 512u)
+          << name << ": error message not capped: " << what.size() << " bytes";
+    }
+  }
+}
+
+TEST(BenchIo, HugeLineErrorMessageIsCapped) {
+  // A pathological multi-megabyte line must not be echoed wholesale into the
+  // exception text.
+  std::string text = "INPUT(a)\nz = AND(a, ";
+  text.append(10u << 20, 'q');
+  try {
+    read_bench_string(text, "huge");
+    FAIL() << "unterminated 10MB line parsed without error";
+  } catch (const Error& e) {
+    EXPECT_LT(std::string(e.what()).size(), 512u);
+  }
+}
+
+TEST(BenchIo, DirectRecursionRejectedBeforeFinalize) {
+  try {
+    read_bench_string("INPUT(b)\na = AND(a, b)\nOUTPUT(a)\n", "rec");
+    FAIL() << "self-feeding gate parsed without error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("recursive"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rec:2"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace aidft
