@@ -27,7 +27,7 @@ SocNetlist make_replicated_soc(const Netlist& core, std::size_t n) {
     for (GateId id = 0; id < core.num_gates(); ++id) {
       const Gate& g = core.gate(id);
       map[id] = soc.netlist.add_gate(g.type,
-                                     g.name.empty() ? "" : prefix + g.name);
+                                     core.name_of(id).empty() ? "" : prefix + core.name_of(id));
     }
     for (GateId id = 0; id < core.num_gates(); ++id) {
       for (GateId f : core.gate(id).fanin) {
@@ -66,7 +66,7 @@ SocNetlist make_replicated_soc_with_compare(const Netlist& core, std::size_t n) 
       const Gate& g = core.gate(id);
       if (g.type == GateType::kOutput) continue;
       map[id] = soc.netlist.add_gate(g.type,
-                                     g.name.empty() ? "" : prefix + g.name);
+                                     core.name_of(id).empty() ? "" : prefix + core.name_of(id));
     }
     for (GateId id = 0; id < core.num_gates(); ++id) {
       if (core.type(id) == GateType::kOutput) continue;

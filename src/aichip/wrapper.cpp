@@ -11,7 +11,7 @@ WrappedCore insert_core_wrapper(const Netlist& core) {
   // the boundary muxes.
   std::vector<GateId> map(core.num_gates());
   for (GateId id = 0; id < core.num_gates(); ++id) {
-    map[id] = out.netlist.add_gate(core.type(id), core.gate(id).name);
+    map[id] = out.netlist.add_gate(core.type(id), core.name_of(id));
   }
   out.wrapper_enable = out.netlist.add_input("wen");
 

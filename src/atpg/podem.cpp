@@ -33,6 +33,7 @@ Val3 noncontrolling(GateType t) {
 Podem::Podem(const Netlist& netlist, const ScoapResult* scoap)
     : nl_(&netlist), scoap_(scoap) {
   AIDFT_REQUIRE(netlist.finalized(), "Podem requires finalized netlist");
+  topo_ = &netlist.topology();
   comb_inputs_ = netlist.combinational_inputs();
   input_index_.assign(netlist.num_gates(), kNpos);
   for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
@@ -50,64 +51,68 @@ Podem::Podem(const Netlist& netlist, const ScoapResult* scoap)
 }
 
 GateId Podem::fault_line(const Fault& f) const {
-  return f.is_stem() ? f.gate : nl_->gate(f.gate).fanin[f.pin];
+  return f.is_stem() ? f.gate : topo_->fanin(f.gate)[f.pin];
 }
 
 void Podem::compute_cone(const Fault& fault) {
   std::fill(in_cone_.begin(), in_cone_.end(), false);
   cone_topo_.clear();
+  const Topology& t = *topo_;
   // A DFF D-pin fault only affects the captured value — nothing propagates
   // through combinational logic this cycle, so the cone is empty.
-  if (!fault.is_stem() && nl_->type(fault.gate) == GateType::kDff) return;
+  if (!fault.is_stem() && t.type(fault.gate) == GateType::kDff) return;
 
   std::vector<GateId> stack{fault.gate};
   in_cone_[fault.gate] = true;
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();
-    for (GateId s : nl_->gate(g).fanout) {
-      if (is_state_element(nl_->type(s))) continue;  // stops at capture
+    for (GateId s : t.fanout(g)) {
+      if (is_state_element(t.type(s))) continue;  // stops at capture
       if (!in_cone_[s]) {
         in_cone_[s] = true;
         stack.push_back(s);
       }
     }
   }
-  for (GateId g : nl_->topo_order()) {
+  for (GateId g : t.topo_order()) {
     if (in_cone_[g]) cone_topo_.push_back(g);
   }
 }
 
 void Podem::imply(const Fault& fault) {
   ++implications_;
+  const Topology& t = *topo_;
   // Good machine: full 3-valued pass.
   for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
     good_[comb_inputs_[i]] = assignment_[i];
   }
-  for (GateId id : nl_->topo_order()) {
-    const Gate& g = nl_->gate(id);
-    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-    good_[id] = eval_gate3(g.type, g.fanin.size(),
-                           [&](std::size_t k) { return good_[g.fanin[k]]; });
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    if (type == GateType::kInput || type == GateType::kDff) continue;
+    const std::span<const GateId> fin = t.fanin(id);
+    good_[id] = eval_gate3(type, fin.size(),
+                           [&](std::size_t k) { return good_[fin[k]]; });
   }
   // Faulty machine: only the cone differs.
   faulty_ = good_;
   const Val3 stuck = bool_to_val(fault.stuck_at_one());
   for (GateId id : cone_topo_) {
-    const Gate& g = nl_->gate(id);
+    const GateType type = t.type(id);
+    const std::span<const GateId> fin = t.fanin(id);
     if (id == fault.gate) {
       if (fault.is_stem()) {
         faulty_[id] = stuck;
       } else {
-        faulty_[id] = eval_gate3(g.type, g.fanin.size(), [&](std::size_t k) {
-          return k == fault.pin ? stuck : faulty_[g.fanin[k]];
+        faulty_[id] = eval_gate3(type, fin.size(), [&](std::size_t k) {
+          return k == fault.pin ? stuck : faulty_[fin[k]];
         });
       }
       continue;
     }
-    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-    faulty_[id] = eval_gate3(g.type, g.fanin.size(),
-                             [&](std::size_t k) { return faulty_[g.fanin[k]]; });
+    if (type == GateType::kInput || type == GateType::kDff) continue;
+    faulty_[id] = eval_gate3(type, fin.size(),
+                             [&](std::size_t k) { return faulty_[fin[k]]; });
   }
 }
 
@@ -137,8 +142,8 @@ bool Podem::x_path_exists() const {
     const GateId g = stack.back();
     stack.pop_back();
     if (observed_flag_[g]) return true;
-    for (GateId s : nl_->gate(g).fanout) {
-      if (is_state_element(nl_->type(s))) {
+    for (GateId s : topo_->fanout(g)) {
+      if (is_state_element(topo_->type(s))) {
         // Fault effect reaching a D pin is captured and observed.
         return true;
       }
@@ -164,13 +169,14 @@ bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
   // value.
   GateId best = kNoGate;
   std::uint32_t best_score = std::numeric_limits<std::uint32_t>::max();
+  const Topology& t = *topo_;
   for (GateId g : dfrontier_) {
     const std::uint32_t score =
-        scoap_ ? scoap_->co[g] : (nl_->num_levels() - nl_->gate(g).level);
+        scoap_ ? scoap_->co[g] : (nl_->num_levels() - t.level(g));
     if (score < best_score) {
       // Must have a good-X input we can steer.
       bool has_x = false;
-      for (GateId f : nl_->gate(g).fanin) {
+      for (GateId f : t.fanin(g)) {
         if (!is_known(good_[f])) {
           has_x = true;
           break;
@@ -182,11 +188,12 @@ bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
     }
   }
   if (best == kNoGate) return false;
-  const Gate& g = nl_->gate(best);
+  const GateType best_type = t.type(best);
+  const std::span<const GateId> best_fanin = t.fanin(best);
   // For MUX, route the differing data input through the select.
-  if (g.type == GateType::kMux && !is_known(good_[g.fanin[0]])) {
-    obj_gate = g.fanin[0];
-    obj_val = both_known_diff(good_[g.fanin[2]], faulty_[g.fanin[2]])
+  if (best_type == GateType::kMux && !is_known(good_[best_fanin[0]])) {
+    obj_gate = best_fanin[0];
+    obj_val = both_known_diff(good_[best_fanin[2]], faulty_[best_fanin[2]])
                   ? Val3::kOne
                   : Val3::kZero;
     return true;
@@ -194,14 +201,14 @@ bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
   // Target the hardest-to-control X input first (SCOAP cc of the
   // non-controlling value): if the difficult requirement is unsatisfiable
   // the search fails before effort is sunk into the easy ones.
-  const Val3 want = noncontrolling(g.type);
+  const Val3 want = noncontrolling(best_type);
   GateId obj = kNoGate;
   std::uint32_t obj_cost = 0;
-  for (GateId f : g.fanin) {
+  for (GateId f : best_fanin) {
     if (is_known(good_[f])) continue;
     const std::uint32_t cost =
         scoap_ ? (want == Val3::kOne ? scoap_->cc1[f] : scoap_->cc0[f])
-               : nl_->gate(f).level;
+               : t.level(f);
     if (obj == kNoGate || cost > obj_cost) {
       obj = f;
       obj_cost = cost;
@@ -215,22 +222,24 @@ bool Podem::pick_objective(const Fault& fault, GateId& obj_gate,
 
 std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
   AIDFT_ASSERT(is_known(val), "backtrace objective must be known");
+  const Topology& t = *topo_;
   GateId g = gate;
   Val3 v = val;
   for (;;) {
     if (input_index_[g] != kNpos && !is_known(good_[g])) {
       return {input_index_[g], v};
     }
-    const Gate& gg = nl_->gate(g);
+    const GateType gtype = t.type(g);
+    const std::span<const GateId> gfanin = t.fanin(g);
     AIDFT_ASSERT(!is_known(good_[g]), "backtrace through a justified line");
     auto cc = [&](GateId f, Val3 want) -> std::uint32_t {
-      if (!scoap_) return nl_->gate(f).level;
+      if (!scoap_) return t.level(f);
       return want == Val3::kOne ? scoap_->cc1[f] : scoap_->cc0[f];
     };
     auto pick_x_input = [&](Val3 want, bool hardest) -> GateId {
       GateId best = kNoGate;
       std::uint32_t best_cost = hardest ? 0 : std::numeric_limits<std::uint32_t>::max();
-      for (GateId f : gg.fanin) {
+      for (GateId f : gfanin) {
         if (is_known(good_[f])) continue;
         const std::uint32_t c = cc(f, want);
         const bool better = hardest ? (best == kNoGate || c >= best_cost)
@@ -243,18 +252,18 @@ std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
       AIDFT_ASSERT(best != kNoGate, "X output gate must have an X input");
       return best;
     };
-    switch (gg.type) {
+    switch (gtype) {
       case GateType::kBuf:
       case GateType::kOutput:
-        g = gg.fanin[0];
+        g = gfanin[0];
         break;
       case GateType::kNot:
-        g = gg.fanin[0];
+        g = gfanin[0];
         v = not3(v);
         break;
       case GateType::kAnd:
       case GateType::kNand: {
-        const Val3 out_for_and = gg.type == GateType::kAnd ? v : not3(v);
+        const Val3 out_for_and = gtype == GateType::kAnd ? v : not3(v);
         if (out_for_and == Val3::kOne) {
           // All inputs must be 1: attack the hardest first.
           g = pick_x_input(Val3::kOne, /*hardest=*/true);
@@ -267,7 +276,7 @@ std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
       }
       case GateType::kOr:
       case GateType::kNor: {
-        const Val3 out_for_or = gg.type == GateType::kOr ? v : not3(v);
+        const Val3 out_for_or = gtype == GateType::kOr ? v : not3(v);
         if (out_for_or == Val3::kZero) {
           g = pick_x_input(Val3::kZero, /*hardest=*/true);
           v = Val3::kZero;
@@ -281,9 +290,9 @@ std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
       case GateType::kXnor: {
         // Choose one X input; other X inputs will be driven toward 0 by
         // later objectives, so aim for parity assuming they become 0.
-        Val3 parity = gg.type == GateType::kXnor ? Val3::kOne : Val3::kZero;
+        Val3 parity = gtype == GateType::kXnor ? Val3::kOne : Val3::kZero;
         GateId x_pick = kNoGate;
-        for (GateId f : gg.fanin) {
+        for (GateId f : gfanin) {
           if (is_known(good_[f])) {
             parity = xor3(parity, good_[f]);
           } else if (x_pick == kNoGate) {
@@ -296,7 +305,7 @@ std::pair<std::size_t, Val3> Podem::backtrace(GateId gate, Val3 val) const {
         break;
       }
       case GateType::kMux: {
-        const GateId sel = gg.fanin[0], d0 = gg.fanin[1], d1 = gg.fanin[2];
+        const GateId sel = gfanin[0], d0 = gfanin[1], d1 = gfanin[2];
         if (is_known(good_[sel])) {
           g = good_[sel] == Val3::kZero ? d0 : d1;
           // v unchanged
@@ -349,16 +358,18 @@ AtpgOutcome Podem::justify(GateId line, Val3 value, const PodemOptions& options)
   apply_constraints(*nl_, input_index_, options, assignment_);
 
   // Good-machine-only implication (no fault, empty cone).
+  const Topology& t = *topo_;
   auto imply_good = [&] {
     ++implications_;
     for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
       good_[comb_inputs_[i]] = assignment_[i];
     }
-    for (GateId id : nl_->topo_order()) {
-      const Gate& g = nl_->gate(id);
-      if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-      good_[id] = eval_gate3(g.type, g.fanin.size(),
-                             [&](std::size_t k) { return good_[g.fanin[k]]; });
+    for (GateId id : t.topo_order()) {
+      const GateType type = t.type(id);
+      if (type == GateType::kInput || type == GateType::kDff) continue;
+      const std::span<const GateId> fin = t.fanin(id);
+      good_[id] = eval_gate3(type, fin.size(),
+                             [&](std::size_t k) { return good_[fin[k]]; });
     }
   };
   imply_good();
@@ -423,7 +434,7 @@ AtpgOutcome Podem::generate(const Fault& fault, const PodemOptions& options) {
 
   // A DFF D-pin fault is detected by mere activation (captured directly).
   const bool capture_only =
-      !fault.is_stem() && nl_->type(fault.gate) == GateType::kDff;
+      !fault.is_stem() && topo_->type(fault.gate) == GateType::kDff;
 
   std::vector<Decision> decisions;
   for (;;) {
@@ -455,7 +466,7 @@ AtpgOutcome Podem::generate(const Fault& fault, const PodemOptions& options) {
           dfrontier_.push_back(g);
           continue;
         }
-        for (GateId f : nl_->gate(g).fanin) {
+        for (GateId f : topo_->fanin(g)) {
           if (both_known_diff(good_[f], faulty_[f])) {
             dfrontier_.push_back(g);
             break;

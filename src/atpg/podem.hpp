@@ -83,6 +83,7 @@ class Podem {
   std::pair<std::size_t, Val3> backtrace(GateId gate, Val3 val) const;
 
   const Netlist* nl_;
+  const Topology* topo_ = nullptr;  // compiled view; set in the constructor
   const ScoapResult* scoap_;
   std::vector<GateId> comb_inputs_;
   std::vector<std::size_t> input_index_;  // GateId -> comb input idx (or npos)

@@ -43,9 +43,11 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
     }
   };
 
+  const Topology& topo = nl.topology();
+
   // DFF D-pin faults: captured difference == activation.
-  if (!fault.is_stem() && nl.type(fault.gate) == GateType::kDff) {
-    const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
+  if (!fault.is_stem() && topo.type(fault.gate) == GateType::kDff) {
+    const GateId driver = topo.fanin(fault.gate)[fault.pin];
     const Lit want = fault.stuck_at_one() ? ~good.lit(driver) : good.lit(driver);
     solver.add_unit(want);
     const SatResult res =
@@ -68,8 +70,8 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
     while (!stack.empty()) {
       const GateId g = stack.back();
       stack.pop_back();
-      for (GateId s : nl.gate(g).fanout) {
-        if (is_state_element(nl.type(s))) continue;
+      for (GateId s : topo.fanout(g)) {
+        if (is_state_element(topo.type(s))) continue;
         if (!in_cone[s]) {
           in_cone[s] = true;
           stack.push_back(s);
@@ -80,9 +82,10 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
 
   // Faulty copy of the cone.
   std::vector<Lit> flit(nl.num_gates(), Lit{});
-  for (GateId id : nl.topo_order()) {
+  for (GateId id : topo.topo_order()) {
     if (!in_cone[id]) continue;
-    const Gate& g = nl.gate(id);
+    const GateType gtype = topo.type(id);
+    const std::span<const GateId> gfanin = topo.fanin(id);
     if (id == fault.gate && fault.is_stem()) {
       // Site output pinned to the stuck value; no function clauses.
       const Lit v = pos_lit(solver.new_var());
@@ -91,9 +94,9 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
       continue;
     }
     std::vector<Lit> fin;
-    fin.reserve(g.fanin.size());
-    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
-      const GateId f = g.fanin[k];
+    fin.reserve(gfanin.size());
+    for (std::size_t k = 0; k < gfanin.size(); ++k) {
+      const GateId f = gfanin[k];
       if (id == fault.gate && k == fault.pin) {
         // Forced pin: a fresh variable pinned to the stuck value.
         const Lit c = pos_lit(solver.new_var());
@@ -103,7 +106,7 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
         fin.push_back(in_cone[f] ? flit[f] : good.lit(f));
       }
     }
-    switch (g.type) {
+    switch (gtype) {
       case GateType::kBuf:
       case GateType::kOutput:
         flit[id] = fin[0];
@@ -113,7 +116,7 @@ AtpgOutcome SatAtpg::generate(const Fault& fault, const SatAtpgOptions& options)
         break;
       default: {
         const Lit v = pos_lit(solver.new_var());
-        add_gate_clauses(solver, g.type, v, fin);
+        add_gate_clauses(solver, gtype, v, fin);
         flit[id] = v;
         break;
       }

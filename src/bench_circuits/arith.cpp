@@ -20,6 +20,7 @@ std::vector<GateId> ripple_adder(Netlist& nl, const std::vector<GateId>& a,
                 "ripple_adder: equal non-zero widths required");
   std::vector<GateId> out;
   out.reserve(a.size() + 1);
+  nl.reserve(nl.num_gates() + 5 * a.size());  // <=5 gates per full adder
   GateId carry = cin;
   for (std::size_t i = 0; i < a.size(); ++i) {
     auto [s, c] = full_adder(nl, a[i], b[i], carry);
@@ -34,6 +35,8 @@ std::vector<GateId> array_multiplier(Netlist& nl, const std::vector<GateId>& a,
                                      const std::vector<GateId>& b) {
   const std::size_t n = a.size();
   AIDFT_REQUIRE(n == b.size() && n >= 2, "array_multiplier: widths >= 2");
+  // n^2 partial-product ANDs plus up to 5 gates per carry-save adder cell.
+  nl.reserve(nl.num_gates() + n * n + 5 * n * (n - 1));
   auto and2 = [&](GateId x, GateId y) {
     return nl.add_gate(GateType::kAnd, {x, y});
   };
@@ -76,6 +79,7 @@ std::vector<GateId> array_multiplier(Netlist& nl, const std::vector<GateId>& a,
 
 GateId reduce_tree(Netlist& nl, GateType t, std::vector<GateId> xs) {
   AIDFT_REQUIRE(!xs.empty(), "reduce_tree of zero inputs");
+  nl.reserve(nl.num_gates() + xs.size());  // a binary tree adds < n gates
   while (xs.size() > 1) {
     std::vector<GateId> next;
     next.reserve(xs.size() / 2 + 1);

@@ -17,6 +17,8 @@ struct Builder {
   explicit Builder(std::string name) : nl(std::move(name)) {}
 
   GateId in(const std::string& name) { return nl.add_input(name); }
+  /// Builder-phase capacity hint; forwarded to Netlist::reserve.
+  void reserve(std::size_t ngates) { nl.reserve(ngates); }
   GateId g2(GateType t, GateId a, GateId b, std::string name = {}) {
     return nl.add_gate(t, {a, b}, std::move(name));
   }
@@ -183,6 +185,7 @@ Netlist make_carry_lookahead_adder(std::size_t n) {
 Netlist make_array_multiplier(std::size_t n) {
   AIDFT_REQUIRE(n >= 2, "multiplier needs n >= 2");
   Builder b("mul" + std::to_string(n) + "x" + std::to_string(n));
+  b.reserve(6 * n * n + 6 * n);  // PP array + adder cells + IO markers
   std::vector<GateId> a(n), bb(n);
   for (std::size_t i = 0; i < n; ++i) a[i] = b.in(idx("a", i));
   for (std::size_t i = 0; i < n; ++i) bb[i] = b.in(idx("b", i));
@@ -287,6 +290,7 @@ Netlist make_comparator(std::size_t n) {
 Netlist make_decoder(std::size_t n) {
   AIDFT_REQUIRE(n >= 1 && n <= 8, "decoder: 1..8 address bits");
   Builder b("dec" + std::to_string(n));
+  b.reserve((std::size_t{2} << n) * (n + 2));  // 2^n rows of (n+1)-input ANDs
   std::vector<GateId> addr(n), naddr(n);
   for (std::size_t i = 0; i < n; ++i) {
     addr[i] = b.in(idx("a", i));
@@ -307,6 +311,7 @@ Netlist make_decoder(std::size_t n) {
 Netlist make_rp_resistant(std::size_t cones, std::size_t width) {
   AIDFT_REQUIRE(cones >= 1 && width >= 2, "rp_resistant: cones>=1, width>=2");
   Builder b("rpr_c" + std::to_string(cones) + "_w" + std::to_string(width));
+  b.reserve(cones * (3 * width + 8));
   std::vector<GateId> cone_outs;
   for (std::size_t c = 0; c < cones; ++c) {
     std::vector<GateId> ins(width);
@@ -366,6 +371,7 @@ Netlist make_mac(std::size_t width, bool registered) {
   AIDFT_REQUIRE(width >= 2 && width <= 16, "mac: width in [2,16]");
   Builder b("mac" + std::to_string(width) + (registered ? "_reg" : ""));
   const std::size_t acc_w = 2 * width + 4;  // guard bits against overflow
+  b.reserve(6 * width * width + 12 * acc_w);  // multiplier array + accumulate
   std::vector<GateId> a(width), bb(width), acc(acc_w);
   for (std::size_t i = 0; i < width; ++i) a[i] = b.in(idx("a", i));
   for (std::size_t i = 0; i < width; ++i) bb[i] = b.in(idx("b", i));
@@ -419,6 +425,7 @@ Netlist make_random_logic(std::size_t ninputs, std::size_t ngates,
   AIDFT_REQUIRE(ninputs >= 2 && ngates >= 1, "random logic: >=2 inputs, >=1 gate");
   Builder b("rand_i" + std::to_string(ninputs) + "_g" + std::to_string(ngates) +
             "_s" + std::to_string(seed));
+  b.reserve(ninputs + 2 * ngates + 8);
   Rng rng(seed);
   std::vector<GateId> pool;
   for (std::size_t i = 0; i < ninputs; ++i) pool.push_back(b.in(idx("x", i)));

@@ -8,7 +8,7 @@ namespace {
 bool eligible(const Netlist& nl, GateId id) {
   const GateType t = nl.type(id);
   if (is_source(t) || is_state_element(t) || t == GateType::kOutput) return false;
-  return !nl.gate(id).fanout.empty();
+  return nl.topology().fanout_size(id) != 0;
 }
 
 }  // namespace
@@ -51,7 +51,7 @@ Netlist apply_test_points(const Netlist& nl, const TestPointPlan& plan) {
 
   std::vector<GateId> map(nl.num_gates());
   for (GateId id = 0; id < nl.num_gates(); ++id) {
-    map[id] = out.add_gate(nl.type(id), nl.gate(id).name);
+    map[id] = out.add_gate(nl.type(id), nl.name_of(id));
   }
 
   // Control splices: sinks of `net` reroute through the splice gate.

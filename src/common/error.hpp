@@ -34,6 +34,19 @@ namespace detail {
     }                                                                    \
   } while (false)
 
+/// Debug-only invariant check: compiles away under NDEBUG (Release /
+/// RelWithDebInfo). Reserved for per-element checks inside hot loops —
+/// e.g. the bounds check in Netlist::gate(), which every engine's inner
+/// loop hits — where the always-on AIDFT_ASSERT measurably costs. Anything
+/// outside a hot loop should keep using AIDFT_ASSERT.
+#ifdef NDEBUG
+#define AIDFT_DBG_ASSERT(expr, msg) \
+  do {                              \
+  } while (false)
+#else
+#define AIDFT_DBG_ASSERT(expr, msg) AIDFT_ASSERT(expr, msg)
+#endif
+
 /// Precondition check on public API boundaries: throws aidft::Error.
 #define AIDFT_REQUIRE(expr, msg)                      \
   do {                                                \

@@ -106,12 +106,12 @@ class Sink {
 };
 
 std::string gate_label(const Netlist& nl, GateId id) {
-  const Gate& g = nl.gate(id);
   std::string s = "gate " + std::to_string(id) + " (";
-  s += to_string(g.type);
-  if (!g.name.empty()) {
+  s += to_string(nl.type(id));
+  const std::string& name = nl.name_of(id);
+  if (!name.empty()) {
     s += ", ";
-    s += g.name;
+    s += name;
   }
   s += ")";
   return s;
@@ -137,17 +137,34 @@ std::pair<std::size_t, std::size_t> arity_range(GateType t) {
   }
 }
 
-// Fanout lists computed locally so the structural rules work on unfinalized
-// netlists; out-of-range fanin ids are skipped (D2 reports them).
-std::vector<std::vector<GateId>> local_fanout(const Netlist& nl) {
-  std::vector<std::vector<GateId>> fan(nl.num_gates());
-  for (GateId id = 0; id < nl.num_gates(); ++id) {
-    for (GateId f : nl.gate(id).fanin) {
-      if (f < nl.num_gates()) fan[f].push_back(id);
+// Fanout adapter for the structural rules. A finalized netlist serves the
+// compiled Topology CSR directly; an unfinalized one (which DRC must accept
+// — its whole point is diagnosing netlists finalize() would reject) gets
+// locally-built lists with out-of-range fanin ids skipped (D2 reports them).
+class FanoutView {
+ public:
+  explicit FanoutView(const Netlist& nl) {
+    if (nl.finalized()) {
+      topo_ = &nl.topology();
+      return;
+    }
+    local_.resize(nl.num_gates());
+    for (GateId id = 0; id < nl.num_gates(); ++id) {
+      for (GateId f : nl.gate(id).fanin) {
+        if (f < nl.num_gates()) local_[f].push_back(id);
+      }
     }
   }
-  return fan;
-}
+
+  std::span<const GateId> operator[](GateId g) const {
+    return topo_ != nullptr ? topo_->fanout(g)
+                            : std::span<const GateId>(local_[g]);
+  }
+
+ private:
+  const Topology* topo_ = nullptr;
+  std::vector<std::vector<GateId>> local_;
+};
 
 // ---- D2: undriven / ill-formed pins --------------------------------------
 void check_pins(const Netlist& nl, Sink& sink) {
@@ -195,8 +212,7 @@ bool is_x_source(const Netlist& nl, GateId id) {
 // Edges follow driver -> sink but never INTO a flop: the D pin terminates a
 // path, so any surviving cycle is purely combinational. SCCs of size > 1
 // (or with a self-edge) are loops; one violation per SCC.
-void check_loops(const Netlist& nl,
-                 const std::vector<std::vector<GateId>>& fanout, Sink& sink) {
+void check_loops(const Netlist& nl, const FanoutView& fanout, Sink& sink) {
   const std::size_t n = nl.num_gates();
   constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
   std::vector<std::uint32_t> index(n, kUnvisited), lowlink(n, 0);
@@ -210,9 +226,7 @@ void check_loops(const Netlist& nl,
   };
   std::vector<Frame> dfs;
 
-  auto edges = [&](GateId g) -> const std::vector<GateId>& {
-    return fanout[g];
-  };
+  auto edges = [&](GateId g) { return fanout[g]; };
   auto edge_ok = [&](GateId s) {
     return !is_state_element(nl.type(s));  // D pins terminate paths
   };
@@ -276,9 +290,7 @@ void check_loops(const Netlist& nl,
 }
 
 // ---- D3: floating nets ---------------------------------------------------
-void check_floating(const Netlist& nl,
-                    const std::vector<std::vector<GateId>>& fanout,
-                    Sink& sink) {
+void check_floating(const Netlist& nl, const FanoutView& fanout, Sink& sink) {
   for (GateId id = 0; id < nl.num_gates(); ++id) {
     const GateType t = nl.type(id);
     // OUTPUT markers are observation; a flop with unused Q is still fully
@@ -294,9 +306,7 @@ void check_floating(const Netlist& nl,
 }
 
 // ---- D4: X-source propagation to capture points --------------------------
-void check_x_sources(const Netlist& nl,
-                     const std::vector<std::vector<GateId>>& fanout,
-                     Sink& sink) {
+void check_x_sources(const Netlist& nl, const FanoutView& fanout, Sink& sink) {
   for (GateId src = 0; src < nl.num_gates(); ++src) {
     if (!is_x_source(nl, src)) continue;
     // BFS forward; the X stops at a flop (scan reload re-controls Q) but
@@ -336,8 +346,7 @@ void check_x_sources(const Netlist& nl,
 }
 
 // ---- D5: uncontrollable scan-cell state ----------------------------------
-void check_uncontrollable_cells(const Netlist& nl,
-                                const std::vector<std::vector<GateId>>& fanout,
+void check_uncontrollable_cells(const Netlist& nl, const FanoutView& fanout,
                                 Sink& sink) {
   // Forward reachability from controllable sources (PIs and flop Qs).
   std::vector<bool> controllable(nl.num_gates(), false);
@@ -564,7 +573,7 @@ DrcReport run_drc(const Netlist& nl, const DrcOptions& options) {
   obs::Span drc_span =
       obs::span(options.telemetry, "drc.netlist_rules", "drc");
 
-  const auto fanout = local_fanout(nl);
+  const FanoutView fanout(nl);
   check_pins(nl, sink);
   check_loops(nl, fanout, sink);
   check_floating(nl, fanout, sink);
@@ -654,13 +663,13 @@ void check_scan_chains(const ScanNetlist& scan, const ScanPlan& plan,
       // the plan even when the wiring is internally consistent.
       if (i < planned.size()) {
         // Compare against the planned cell's name when both sides have one.
-        const std::string& got = nl.gate(ff).name;
+        const std::string& got = nl.name_of(ff);
         // The plan may be expressed directly over this netlist (hand-built
         // seeds) or over the pre-insertion netlist (insert_scan output);
         // in both cases matching non-empty names is the contract.
         const GateId want = planned[i];
         if (want < nl.num_gates()) {
-          const std::string& want_name = nl.gate(want).name;
+          const std::string& want_name = nl.name_of(want);
           if (!got.empty() && !want_name.empty() && got != want_name) {
             sink.emit("D7", ff,
                       "chain " + std::to_string(c) + " position " +

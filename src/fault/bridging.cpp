@@ -21,7 +21,7 @@ const char* type_name(BridgeType t) {
 
 std::string bridge_name(const Netlist& nl, const BridgingFault& f) {
   auto gate_label = [&](GateId g) {
-    const auto& name = nl.gate(g).name;
+    const auto& name = nl.name_of(g);
     return name.empty() ? "n" + std::to_string(g) : name;
   };
   return "BR(" + gate_label(f.a) + "," + gate_label(f.b) + ")/" +
@@ -41,8 +41,8 @@ std::vector<BridgingFault> sample_bridging_faults(
         t == GateType::kConst1) {
       continue;
     }
-    if (nl.gate(id).fanout.empty()) continue;  // unobservable net
-    by_level[nl.gate(id).level].push_back(id);
+    if (nl.topology().fanout_size(id) == 0) continue;  // unobservable net
+    by_level[nl.topology().level(id)].push_back(id);
   }
   std::vector<std::uint32_t> fat_levels;
   for (std::uint32_t lvl = 0; lvl < by_level.size(); ++lvl) {

@@ -44,16 +44,16 @@ bool eligible_gate(const Gate& g) { return g.type != GateType::kOutput; }
 std::pair<GateId, std::uint8_t> canonical_line(const Netlist& nl, GateId gate,
                                                std::uint8_t pin) {
   if (pin == kStemPin) return {gate, kStemPin};
-  const Gate& g = nl.gate(gate);
-  AIDFT_ASSERT(pin < g.fanin.size(), "canonical_line: pin out of range");
-  const GateId driver = g.fanin[pin];
-  if (nl.gate(driver).fanout.size() == 1) return {driver, kStemPin};
+  const Topology& t = nl.topology();
+  AIDFT_ASSERT(pin < t.fanin_size(gate), "canonical_line: pin out of range");
+  const GateId driver = t.fanin(gate)[pin];
+  if (t.fanout_size(driver) == 1) return {driver, kStemPin};
   return {gate, pin};
 }
 
 std::string fault_name(const Netlist& nl, const Fault& f) {
-  const Gate& g = nl.gate(f.gate);
-  std::string base = g.name.empty() ? "n" + std::to_string(f.gate) : g.name;
+  const std::string& gname = nl.name_of(f.gate);
+  std::string base = gname.empty() ? "n" + std::to_string(f.gate) : gname;
   if (!f.is_stem()) base += ".in" + std::to_string(f.pin);
   if (f.kind == FaultKind::kStuckAt) {
     return base + (f.stuck_at_one() ? "/SA1" : "/SA0");
@@ -81,7 +81,7 @@ static std::vector<Fault> generate_faults(const Netlist& nl, FaultKind kind) {
     }
     // Branch faults on pins whose driver forks.
     for (std::uint8_t pin = 0; pin < g.fanin.size(); ++pin) {
-      if (nl.gate(g.fanin[pin]).fanout.size() <= 1) continue;
+      if (nl.topology().fanout_size(g.fanin[pin]) <= 1) continue;
       for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{1}}) {
         faults.push_back(Fault{id, pin, v, kind});
       }

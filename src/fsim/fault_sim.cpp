@@ -13,6 +13,7 @@ FaultSimulator::FaultSimulator(const Netlist& netlist)
       queued_(netlist.num_gates(), false),
       observed_(netlist.num_gates(), false),
       op_index_of_gate_(netlist.num_gates()) {
+  topo_ = &netlist.topology();
   const auto points = netlist.observe_points();
   for (std::size_t i = 0; i < points.size(); ++i) {
     const GateId og = netlist.observed_gate(points[i]);
@@ -43,7 +44,7 @@ void FaultSimulator::load_launch_batch(const PatternBatch& batch) {
 std::uint64_t FaultSimulator::line_value(const Fault& f) const {
   AIDFT_REQUIRE(!good_.empty(), "load_batch() before line_value()");
   if (f.is_stem()) return good_[f.gate];
-  return good_[netlist_->gate(f.gate).fanin[f.pin]];
+  return good_[topo_->fanin(f.gate)[f.pin]];
 }
 
 std::uint64_t FaultSimulator::propagate(const Fault& fault,
@@ -51,6 +52,7 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
                                         std::uint64_t lane_mask,
                                         std::vector<std::uint64_t>* op_diffs) {
   const Netlist& nl = *netlist_;
+  const Topology& t = *topo_;
   ++cur_epoch_;
   if (cur_epoch_ == 0) {  // wrapped: invalidate all tags
     std::fill(epoch_.begin(), epoch_.end(), 0);
@@ -74,8 +76,8 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
 
   // A DFF D-pin fault corrupts only the captured value, which is observed
   // directly at scan-out: activation is detection, nothing propagates.
-  if (!fault.is_stem() && nl.type(fault.gate) == GateType::kDff) {
-    const GateId driver = nl.gate(fault.gate).fanin[fault.pin];
+  if (!fault.is_stem() && t.type(fault.gate) == GateType::kDff) {
+    const GateId driver = t.fanin(fault.gate)[fault.pin];
     const std::uint64_t diff = (good[driver] ^ stuck_word) & lane_mask;
     if (op_diffs != nullptr && diff != 0) {
       // Only this flop's own observe point fails.
@@ -90,11 +92,11 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
   std::uint64_t detect = 0;
 
   auto enqueue_fanouts = [&](GateId g) {
-    for (GateId s : nl.gate(g).fanout) {
-      if (is_state_element(nl.type(s))) continue;  // captured, not propagated
+    for (GateId s : t.fanout(g)) {
+      if (is_state_element(t.type(s))) continue;  // captured, not propagated
       if (!queued_[s]) {
         queued_[s] = true;
-        buckets_[nl.gate(s).level].push_back(s);
+        buckets_[t.level(s)].push_back(s);
       }
     }
   };
@@ -110,10 +112,10 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
     }
     enqueue_fanouts(fault.gate);
   } else {
-    const Gate& g = nl.gate(fault.gate);
+    const std::span<const GateId> fin = t.fanin(fault.gate);
     const std::uint64_t nv = eval_gate_words(
-        g.type, g.fanin.size(), [&](std::size_t i) {
-          return i == fault.pin ? stuck_word : good[g.fanin[i]];
+        t.type(fault.gate), fin.size(), [&](std::size_t i) {
+          return i == fault.pin ? stuck_word : good[fin[i]];
         });
     const std::uint64_t diff = (nv ^ good[fault.gate]) & lane_mask;
     if (diff == 0) return 0;
@@ -132,18 +134,19 @@ std::uint64_t FaultSimulator::propagate(const Fault& fault,
       const GateId id = bucket[i];
       queued_[id] = false;
       ++events_;
-      const Gate& g = nl.gate(id);
+      const GateType type = t.type(id);
+      const std::span<const GateId> fin = t.fanin(id);
       std::uint64_t nv = eval_gate_words(
-          g.type, g.fanin.size(),
-          [&](std::size_t k) { return fval(g.fanin[k]); });
+          type, fin.size(),
+          [&](std::size_t k) { return fval(fin[k]); });
       // Re-injection at the fault site: a faulty effect reconverging onto
       // the faulted line keeps the stuck value / forced pin.
       if (id == fault.gate) {
         if (fault.is_stem()) {
           nv = stuck_word;
         } else {
-          nv = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
-            return k == fault.pin ? stuck_word : fval(g.fanin[k]);
+          nv = eval_gate_words(type, fin.size(), [&](std::size_t k) {
+            return k == fault.pin ? stuck_word : fval(fin[k]);
           });
         }
       }
@@ -173,7 +176,7 @@ std::uint64_t FaultSimulator::detect_mask(const Fault& fault) {
                 "load_launch_batch() before transition detect_mask()");
   const GateId line_gate = fault.is_stem()
                                ? fault.gate
-                               : netlist_->gate(fault.gate).fanin[fault.pin];
+                               : topo_->fanin(fault.gate)[fault.pin];
   const std::uint64_t init_word = launch_good_[line_gate];
   // slow-to-rise (value==1): needs launch value 0; fault behaves as SA0.
   const std::uint64_t armed =
@@ -221,13 +224,14 @@ std::uint64_t FaultSimulator::detect_mask_bridging(const BridgingFault& fault) {
     faulty_[g] = v;
     epoch_[g] = cur_epoch_;
   };
+  const Topology& t = *topo_;
   std::uint64_t detect = 0;
   auto enqueue_fanouts = [&](GateId g) {
-    for (GateId s : nl.gate(g).fanout) {
-      if (is_state_element(nl.type(s))) continue;
+    for (GateId s : t.fanout(g)) {
+      if (is_state_element(t.type(s))) continue;
       if (!queued_[s]) {
         queued_[s] = true;
-        buckets_[nl.gate(s).level].push_back(s);
+        buckets_[t.level(s)].push_back(s);
       }
     }
   };
@@ -254,10 +258,10 @@ std::uint64_t FaultSimulator::detect_mask_bridging(const BridgingFault& fault) {
       // Bridged nets hold their forced value regardless of reconvergence
       // (no path can exist between same-level nets, but be safe).
       if (id == fault.a || id == fault.b) continue;
-      const Gate& g = nl.gate(id);
+      const std::span<const GateId> fin = t.fanin(id);
       const std::uint64_t nv = eval_gate_words(
-          g.type, g.fanin.size(),
-          [&](std::size_t k) { return fval(g.fanin[k]); });
+          t.type(id), fin.size(),
+          [&](std::size_t k) { return fval(fin[k]); });
       if (nv != fval(id)) {
         set_fval(id, nv);
         if (observed_[id]) detect |= (nv ^ good_[id]) & lane_mask_;
@@ -282,6 +286,9 @@ std::uint64_t FaultSimulator::detect_mask_reference(const PatternBatch& batch,
                                                     const Fault& fault) {
   AIDFT_REQUIRE(fault.kind == FaultKind::kStuckAt,
                 "reference engine grades stuck-at faults only");
+  // The oracle deliberately traverses the builder-phase Gate structs, not
+  // the compiled Topology, so tests comparing it against the PPSFP engine
+  // exercise two independent adjacency representations.
   const Netlist& nl = *netlist_;
   // Good machine.
   ParallelSimulator good(nl);

@@ -85,6 +85,7 @@ class FaultSimulator {
                           std::vector<std::uint64_t>* op_diffs = nullptr);
 
   const Netlist* netlist_;
+  const Topology* topo_ = nullptr;  // compiled view; set in the constructor
   ParallelSimulator good_sim_;
   std::vector<std::uint64_t> good_;         // cached good values (capture)
   std::vector<std::uint64_t> launch_good_;  // cached good values (launch)

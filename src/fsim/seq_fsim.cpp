@@ -9,27 +9,29 @@ namespace {
 // entry; on exit every gate is evaluated. `fault` may be null.
 void comb_eval(const Netlist& nl, std::vector<std::uint64_t>& values,
                const Fault* fault) {
+  const Topology& t = nl.topology();
   const std::uint64_t stuck_word =
       (fault != nullptr && fault->stuck_at_one()) ? ~0ull : 0ull;
-  for (GateId id : nl.topo_order()) {
-    const Gate& g = nl.gate(id);
-    if (is_source(g.type) || is_state_element(g.type)) {
-      if (g.type == GateType::kConst1) values[id] = ~0ull;
-      if (g.type == GateType::kConst0) values[id] = 0;
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    if (is_source(type) || is_state_element(type)) {
+      if (type == GateType::kConst1) values[id] = ~0ull;
+      if (type == GateType::kConst0) values[id] = 0;
       // A stem fault on a state element or input overrides its value.
       if (fault != nullptr && fault->is_stem() && id == fault->gate) {
         values[id] = stuck_word;
       }
       continue;
     }
+    const std::span<const GateId> fin = t.fanin(id);
     if (fault != nullptr && !fault->is_stem() && id == fault->gate) {
-      values[id] = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
-        return k == fault->pin ? stuck_word : values[g.fanin[k]];
+      values[id] = eval_gate_words(type, fin.size(), [&](std::size_t k) {
+        return k == fault->pin ? stuck_word : values[fin[k]];
       });
     } else {
       values[id] = eval_gate_words(
-          g.type, g.fanin.size(),
-          [&](std::size_t k) { return values[g.fanin[k]]; });
+          type, fin.size(),
+          [&](std::size_t k) { return values[fin[k]]; });
     }
     if (fault != nullptr && fault->is_stem() && id == fault->gate) {
       values[id] = stuck_word;
@@ -69,9 +71,10 @@ SeqCampaignResult run_functional_campaign(const Netlist& nl,
 
   // Two-phase capture so flop-to-flop paths see pre-edge values.
   std::vector<std::uint64_t> next_state(nl.dffs().size());
+  const Topology& topo = nl.topology();
   auto capture = [&](std::vector<std::uint64_t>& values) {
     for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-      next_state[i] = values[nl.gate(nl.dffs()[i]).fanin[0]];
+      next_state[i] = values[topo.fanin0(nl.dffs()[i])];
     }
     for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
       values[nl.dffs()[i]] = next_state[i];

@@ -190,8 +190,8 @@ Netlist read_bench_file(const std::string& path) {
 void write_bench(const Netlist& netlist, std::ostream& out) {
   AIDFT_REQUIRE(netlist.finalized(), "write_bench requires a finalized netlist");
   auto sig_name = [&](GateId id) {
-    const Gate& g = netlist.gate(id);
-    return g.name.empty() ? "n" + std::to_string(id) : g.name;
+    const std::string& name = netlist.name_of(id);
+    return name.empty() ? "n" + std::to_string(id) : name;
   };
   out << "# circuit: " << netlist.name() << "\n";
   for (GateId id : netlist.inputs()) out << "INPUT(" << sig_name(id) << ")\n";

@@ -25,16 +25,21 @@ std::string_view to_string(GateType type) {
   return "?";
 }
 
+void Netlist::reserve(std::size_t ngates) {
+  gates_.reserve(ngates);
+  names_.reserve(ngates);
+}
+
 GateId Netlist::add_gate(GateType type, std::string name) {
   AIDFT_REQUIRE(!finalized_, "cannot add gates after finalize()");
   const GateId id = static_cast<GateId>(gates_.size());
   Gate g;
   g.type = type;
-  g.name = std::move(name);
-  if (!g.name.empty()) {
-    auto [it, inserted] = by_name_.emplace(g.name, id);
-    AIDFT_REQUIRE(inserted, "duplicate gate name: " + g.name);
+  if (!name.empty()) {
+    auto [it, inserted] = by_name_.emplace(name, id);
+    AIDFT_REQUIRE(inserted, "duplicate gate name: " + name);
   }
+  names_.push_back(std::move(name));
   gates_.push_back(std::move(g));
   switch (type) {
     case GateType::kInput: inputs_.push_back(id); break;
@@ -86,7 +91,8 @@ void Netlist::check_arity(GateId id) const {
   const std::size_t n = g.fanin.size();
   auto fail = [&](const char* need) {
     throw Error("gate " + std::to_string(id) + " (" +
-                std::string(to_string(g.type)) + (g.name.empty() ? "" : ", " + g.name) +
+                std::string(to_string(g.type)) +
+                (names_[id].empty() ? "" : ", " + names_[id]) +
                 "): expected " + need + " fanin(s), got " + std::to_string(n));
   };
   switch (g.type) {
@@ -134,6 +140,9 @@ void Netlist::finalize() {
   // Kahn's algorithm over the combinational graph. DFFs break cycles: a DFF
   // is a source (its Q is available at time 0); its D-input edge is not a
   // topological dependency of the DFF node itself.
+  // FIFO dequeue order is level-sorted (all of level L is enqueued before
+  // any gate of level L+1), which Topology::build relies on for its
+  // contiguous per-level buckets.
   std::vector<std::uint32_t> pending(gates_.size(), 0);
   std::queue<GateId> ready;
   for (GateId id = 0; id < gates_.size(); ++id) {
@@ -146,8 +155,8 @@ void Netlist::finalize() {
       if (pending[id] == 0) ready.push(id);  // defensive; arity check forbids
     }
   }
-  topo_.clear();
-  topo_.reserve(gates_.size());
+  std::vector<GateId> topo;
+  topo.reserve(gates_.size());
   while (!ready.empty()) {
     const GateId id = ready.front();
     ready.pop();
@@ -158,21 +167,22 @@ void Netlist::finalize() {
         g.level = std::max(g.level, gates_[f].level + 1);
       }
     }
-    topo_.push_back(id);
+    topo.push_back(id);
     for (GateId s : g.fanout) {
       if (is_state_element(gates_[s].type)) continue;  // edge into DFF D pin
       AIDFT_ASSERT(pending[s] > 0, "topological bookkeeping broken");
       if (--pending[s] == 0) ready.push(s);
     }
   }
-  if (topo_.size() != gates_.size()) {
+  if (topo.size() != gates_.size()) {
     throw Error("netlist '" + name_ +
                 "' has a combinational cycle (or unreachable gate): sorted " +
-                std::to_string(topo_.size()) + " of " +
+                std::to_string(topo.size()) + " of " +
                 std::to_string(gates_.size()) + " gates");
   }
   num_levels_ = 0;
   for (const Gate& g : gates_) num_levels_ = std::max(num_levels_, g.level + 1);
+  topo_view_ = Topology::build(*this, std::move(topo));
   finalized_ = true;
 }
 

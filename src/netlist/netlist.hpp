@@ -1,10 +1,14 @@
 // Gate-level netlist IR.
 //
-// A Netlist is a DAG of gates plus DFF state elements. It is built
-// incrementally (add_* then connect), then `finalize()` computes fanouts,
-// levels, and a topological order and freezes the structure. All analysis
-// engines (simulation, ATPG, fault sim, SCOAP, ...) require a finalized
-// netlist.
+// A Netlist is a DAG of gates plus DFF state elements, and lives in two
+// phases. Phase 1 (builder): it is built incrementally (add_* then connect)
+// on per-gate Gate structs. Phase 2 (compiled): `finalize()` validates the
+// structure, computes fanouts, levels and a topological order, freezes the
+// netlist, and compiles a flat Topology view (CSR fanin/fanout, flat type
+// and level arrays, per-level bucket offsets) — the structure every
+// analysis engine (simulation, ATPG, fault sim, SCOAP, ...) traverses on
+// its hot path. Gate names live in a side table so the residual Gate
+// struct stays small.
 //
 // Sequential handling: a DFF's value is its Q output; its single fanin is D.
 // For full-scan test generation the combinational view treats every DFF
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "netlist/topology.hpp"
 #include "netlist/types.hpp"
 
 namespace aidft {
@@ -29,7 +34,6 @@ struct Gate {
   std::vector<GateId> fanin;
   std::vector<GateId> fanout;  // filled by finalize()
   std::uint32_t level = 0;     // topological level; sources are level 0
-  std::string name;            // optional; empty means auto-named
 };
 
 class Netlist {
@@ -38,6 +42,10 @@ class Netlist {
   explicit Netlist(std::string name) : name_(std::move(name)) {}
 
   // ---- construction ------------------------------------------------------
+
+  /// Pre-allocates storage for `ngates` gates (builder-phase hint; cuts
+  /// reallocation churn when generators know the circuit size up front).
+  void reserve(std::size_t ngates);
 
   /// Adds a gate with no connections yet. Fanins are attached via connect().
   GateId add_gate(GateType type, std::string name = {});
@@ -56,9 +64,10 @@ class Netlist {
   /// Appends `driver` to `sink`'s fanin list. Only valid before finalize().
   void connect(GateId driver, GateId sink);
 
-  /// Validates structure, computes fanout lists, levels, topological order.
-  /// Throws Error on malformed structure (wrong arity, cycles through
-  /// combinational logic, dangling fanin).
+  /// Validates structure, computes fanout lists, levels, topological order,
+  /// and compiles the flat Topology view. Throws Error on malformed
+  /// structure (wrong arity, cycles through combinational logic, dangling
+  /// fanin).
   void finalize();
 
   bool finalized() const { return finalized_; }
@@ -70,19 +79,35 @@ class Netlist {
 
   std::size_t num_gates() const { return gates_.size(); }
   const Gate& gate(GateId id) const {
-    AIDFT_ASSERT(id < gates_.size(), "gate id out of range");
+    AIDFT_DBG_ASSERT(id < gates_.size(), "gate id out of range");
     return gates_[id];
   }
   GateType type(GateId id) const { return gate(id).type; }
+
+  /// Name of gate `id` (empty when auto-named). Side table, not a Gate
+  /// member: only reporting paths pay for name storage locality.
+  const std::string& name_of(GateId id) const {
+    AIDFT_DBG_ASSERT(id < names_.size(), "gate id out of range");
+    return names_[id];
+  }
 
   const std::vector<GateId>& inputs() const { return inputs_; }
   const std::vector<GateId>& outputs() const { return outputs_; }
   const std::vector<GateId>& dffs() const { return dffs_; }
 
-  /// Gates in topological order (sources first). Valid after finalize().
+  /// Compiled flat view (CSR adjacency, flat types/levels, level buckets).
+  /// Valid after finalize(); hot engines cache this reference and traverse
+  /// it instead of the Gate structs.
+  const Topology& topology() const {
+    AIDFT_REQUIRE(finalized_, "topology requires finalize()");
+    return topo_view_;
+  }
+
+  /// Gates in topological order (sources first, level-sorted). Valid after
+  /// finalize().
   const std::vector<GateId>& topo_order() const {
     AIDFT_ASSERT(finalized_, "topo_order requires finalize()");
-    return topo_;
+    return topo_view_.topo_order();
   }
 
   /// Max level + 1 (0 for an empty netlist). Valid after finalize().
@@ -116,11 +141,12 @@ class Netlist {
 
   std::string name_;
   std::vector<Gate> gates_;
+  std::vector<std::string> names_;  // parallel to gates_; "" = auto-named
   std::vector<GateId> inputs_;
   std::vector<GateId> outputs_;
   std::vector<GateId> dffs_;
-  std::vector<GateId> topo_;
   std::unordered_map<std::string, GateId> by_name_;
+  Topology topo_view_;  // compiled by finalize()
   std::uint32_t num_levels_ = 0;
   bool finalized_ = false;
 };

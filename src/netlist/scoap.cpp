@@ -12,13 +12,13 @@ std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
 
 // Controllability of an n-input XOR/XNOR via parity DP: cheapest way to make
 // the parity of the inputs equal to 0 or 1.
-void xor_controllability(const Netlist& nl, const Gate& g,
+void xor_controllability(std::span<const GateId> fanin,
                          const std::vector<std::uint32_t>& cc0,
                          const std::vector<std::uint32_t>& cc1,
                          std::uint32_t& even_cost, std::uint32_t& odd_cost) {
   std::uint32_t dp0 = 0;             // cheapest cost with even parity so far
   std::uint32_t dp1 = kUnreachable;  // cheapest cost with odd parity so far
-  for (GateId f : g.fanin) {
+  for (GateId f : fanin) {
     const std::uint32_t c0 = cc0[f];
     const std::uint32_t c1 = cc1[f];
     const std::uint32_t n0 = std::min(sat_add(dp0, c0), sat_add(dp1, c1));
@@ -26,7 +26,6 @@ void xor_controllability(const Netlist& nl, const Gate& g,
     dp0 = n0;
     dp1 = n1;
   }
-  (void)nl;
   even_cost = dp0;
   odd_cost = dp1;
 }
@@ -41,12 +40,15 @@ ScoapResult compute_scoap(const Netlist& nl) {
   r.cc1.assign(n, kUnreachable);
   r.co.assign(n, kUnreachable);
 
+  const Topology& t = nl.topology();
+
   // --- controllability, forward over topological order -------------------
-  for (GateId id : nl.topo_order()) {
-    const Gate& g = nl.gate(id);
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    const std::span<const GateId> fanin = t.fanin(id);
     std::uint32_t c0 = kUnreachable;
     std::uint32_t c1 = kUnreachable;
-    switch (g.type) {
+    switch (type) {
       case GateType::kInput:
         c0 = c1 = 1;
         break;
@@ -63,25 +65,25 @@ ScoapResult compute_scoap(const Netlist& nl) {
         break;
       case GateType::kOutput:
       case GateType::kBuf:
-        c0 = sat_add(r.cc0[g.fanin[0]], 1);
-        c1 = sat_add(r.cc1[g.fanin[0]], 1);
+        c0 = sat_add(r.cc0[fanin[0]], 1);
+        c1 = sat_add(r.cc1[fanin[0]], 1);
         break;
       case GateType::kNot:
-        c0 = sat_add(r.cc1[g.fanin[0]], 1);
-        c1 = sat_add(r.cc0[g.fanin[0]], 1);
+        c0 = sat_add(r.cc1[fanin[0]], 1);
+        c1 = sat_add(r.cc0[fanin[0]], 1);
         break;
       case GateType::kAnd:
       case GateType::kNand: {
         // Output-1 of AND needs all inputs 1; output-0 needs cheapest 0.
         std::uint32_t all1 = 0;
         std::uint32_t min0 = kUnreachable;
-        for (GateId f : g.fanin) {
+        for (GateId f : fanin) {
           all1 = sat_add(all1, r.cc1[f]);
           min0 = std::min(min0, r.cc0[f]);
         }
         const std::uint32_t out1 = sat_add(all1, 1);
         const std::uint32_t out0 = sat_add(min0, 1);
-        if (g.type == GateType::kAnd) {
+        if (type == GateType::kAnd) {
           c1 = out1;
           c0 = out0;
         } else {
@@ -94,13 +96,13 @@ ScoapResult compute_scoap(const Netlist& nl) {
       case GateType::kNor: {
         std::uint32_t all0 = 0;
         std::uint32_t min1 = kUnreachable;
-        for (GateId f : g.fanin) {
+        for (GateId f : fanin) {
           all0 = sat_add(all0, r.cc0[f]);
           min1 = std::min(min1, r.cc1[f]);
         }
         const std::uint32_t out0 = sat_add(all0, 1);
         const std::uint32_t out1 = sat_add(min1, 1);
-        if (g.type == GateType::kOr) {
+        if (type == GateType::kOr) {
           c0 = out0;
           c1 = out1;
         } else {
@@ -112,10 +114,10 @@ ScoapResult compute_scoap(const Netlist& nl) {
       case GateType::kXor:
       case GateType::kXnor: {
         std::uint32_t even = 0, odd = 0;
-        xor_controllability(nl, g, r.cc0, r.cc1, even, odd);
+        xor_controllability(fanin, r.cc0, r.cc1, even, odd);
         const std::uint32_t out0 = sat_add(even, 1);
         const std::uint32_t out1 = sat_add(odd, 1);
-        if (g.type == GateType::kXor) {
+        if (type == GateType::kXor) {
           c0 = out0;
           c1 = out1;
         } else {
@@ -125,7 +127,7 @@ ScoapResult compute_scoap(const Netlist& nl) {
         break;
       }
       case GateType::kMux: {
-        const GateId sel = g.fanin[0], d0 = g.fanin[1], d1 = g.fanin[2];
+        const GateId sel = fanin[0], d0 = fanin[1], d1 = fanin[2];
         c0 = sat_add(std::min(sat_add(r.cc0[sel], r.cc0[d0]),
                               sat_add(r.cc1[sel], r.cc0[d1])),
                      1);
@@ -148,68 +150,69 @@ ScoapResult compute_scoap(const Netlist& nl) {
   // so a grant made while visiting the DFF node itself would come too late
   // to reach the combinational cone that computes D.
   for (GateId id : nl.dffs()) {
-    const GateId d = nl.gate(id).fanin[0];
+    const GateId d = t.fanin0(id);
     r.co[d] = std::min(r.co[d], 1u);
   }
 
-  const auto& topo = nl.topo_order();
+  const auto& topo = t.topo_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const GateId id = *it;
-    const Gate& g = nl.gate(id);
+    const GateType type = t.type(id);
+    const std::span<const GateId> fanin = t.fanin(id);
     // Propagate this gate's CO (already min-merged from its fanouts) down to
     // its fanin branches; a stem's CO is the min over branch COs, which the
     // min-merge below accumulates.
     std::uint32_t co_g = r.co[id];
-    if (g.type == GateType::kDff) {
+    if (type == GateType::kDff) {
       continue;  // D observability was pre-seeded above
     }
-    if (co_g >= kUnreachable && g.type != GateType::kOutput) {
+    if (co_g >= kUnreachable && type != GateType::kOutput) {
       // No observable path through this gate; nothing to push down.
       continue;
     }
-    switch (g.type) {
+    switch (type) {
       case GateType::kInput:
       case GateType::kConst0:
       case GateType::kConst1:
         break;
       case GateType::kOutput:
-        r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], 0u);
+        r.co[fanin[0]] = std::min(r.co[fanin[0]], 0u);
         break;
       case GateType::kBuf:
       case GateType::kNot:
-        r.co[g.fanin[0]] = std::min(r.co[g.fanin[0]], sat_add(co_g, 1));
+        r.co[fanin[0]] = std::min(r.co[fanin[0]], sat_add(co_g, 1));
         break;
       case GateType::kAnd:
       case GateType::kNand:
       case GateType::kOr:
       case GateType::kNor: {
-        const bool needs_one = (g.type == GateType::kAnd || g.type == GateType::kNand);
-        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+        const bool needs_one = (type == GateType::kAnd || type == GateType::kNand);
+        for (std::size_t i = 0; i < fanin.size(); ++i) {
           std::uint32_t side = 0;  // cost of non-controlling values on others
-          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+          for (std::size_t j = 0; j < fanin.size(); ++j) {
             if (i == j) continue;
-            side = sat_add(side, needs_one ? r.cc1[g.fanin[j]] : r.cc0[g.fanin[j]]);
+            side = sat_add(side, needs_one ? r.cc1[fanin[j]] : r.cc0[fanin[j]]);
           }
           const std::uint32_t v = sat_add(sat_add(co_g, side), 1);
-          r.co[g.fanin[i]] = std::min(r.co[g.fanin[i]], v);
+          r.co[fanin[i]] = std::min(r.co[fanin[i]], v);
         }
         break;
       }
       case GateType::kXor:
       case GateType::kXnor: {
-        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+        for (std::size_t i = 0; i < fanin.size(); ++i) {
           std::uint32_t side = 0;  // others just need any known value
-          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+          for (std::size_t j = 0; j < fanin.size(); ++j) {
             if (i == j) continue;
-            side = sat_add(side, std::min(r.cc0[g.fanin[j]], r.cc1[g.fanin[j]]));
+            side = sat_add(side, std::min(r.cc0[fanin[j]], r.cc1[fanin[j]]));
           }
           const std::uint32_t v = sat_add(sat_add(co_g, side), 1);
-          r.co[g.fanin[i]] = std::min(r.co[g.fanin[i]], v);
+          r.co[fanin[i]] = std::min(r.co[fanin[i]], v);
         }
         break;
       }
       case GateType::kMux: {
-        const GateId sel = g.fanin[0], d0 = g.fanin[1], d1 = g.fanin[2];
+        const GateId sel = fanin[0], d0 = fanin[1], d1 = fanin[2];
         // Data inputs observable when select routes them through.
         r.co[d0] = std::min(r.co[d0], sat_add(sat_add(co_g, r.cc0[sel]), 1));
         r.co[d1] = std::min(r.co[d1], sat_add(sat_add(co_g, r.cc1[sel]), 1));

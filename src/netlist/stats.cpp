@@ -14,13 +14,14 @@ NetlistStats compute_stats(const Netlist& nl) {
   s.num_outputs = nl.outputs().size();
   s.num_dffs = nl.dffs().size();
   s.depth = nl.num_levels() == 0 ? 0 : nl.num_levels() - 1;
+  const Topology& t = nl.topology();
   std::size_t fanin_total = 0;
   std::size_t fanin_gates = 0;
   for (GateId id = 0; id < nl.num_gates(); ++id) {
-    const Gate& g = nl.gate(id);
-    s.max_fanout = std::max(s.max_fanout, g.fanout.size());
-    if (!g.fanin.empty()) {
-      fanin_total += g.fanin.size();
+    s.max_fanout = std::max(s.max_fanout, t.fanout_size(id));
+    const std::size_t nfanin = t.fanin_size(id);
+    if (nfanin != 0) {
+      fanin_total += nfanin;
       ++fanin_gates;
     }
   }

@@ -1,0 +1,86 @@
+#include "netlist/topology.hpp"
+
+#include "netlist/netlist.hpp"
+
+namespace aidft {
+
+Topology Topology::build(const Netlist& netlist, std::vector<GateId> topo) {
+  const std::size_t n = netlist.num_gates();
+  Topology t;
+  t.types_.resize(n);
+  t.levels_.resize(n);
+  t.topo_ = std::move(topo);
+  AIDFT_ASSERT(t.topo_.size() == n, "topo order does not cover the netlist");
+
+  std::size_t nedges = 0;
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = netlist.gate(id);
+    t.types_[id] = g.type;
+    t.levels_[id] = g.level;
+    nedges += g.fanin.size();
+  }
+
+  // Fanin CSR: edge order is exactly Gate::fanin (pin order matters to
+  // every engine — MUX select, DFF D, fault pin indices).
+  t.fanin_offsets_.resize(n + 1);
+  t.fanin_edges_.reserve(nedges);
+  for (GateId id = 0; id < n; ++id) {
+    t.fanin_offsets_[id] = static_cast<std::uint32_t>(t.fanin_edges_.size());
+    const Gate& g = netlist.gate(id);
+    t.fanin_edges_.insert(t.fanin_edges_.end(), g.fanin.begin(), g.fanin.end());
+  }
+  t.fanin_offsets_[n] = static_cast<std::uint32_t>(t.fanin_edges_.size());
+
+  // Fanout CSR, counting pass then fill pass. Scanning sinks in id order
+  // reproduces Gate::fanout order exactly (finalize() builds those lists the
+  // same way), so migrated engines keep identical traversal order.
+  t.fanout_offsets_.assign(n + 1, 0);
+  for (GateId f : t.fanin_edges_) ++t.fanout_offsets_[f + 1];
+  for (std::size_t i = 1; i <= n; ++i) {
+    t.fanout_offsets_[i] += t.fanout_offsets_[i - 1];
+  }
+  t.fanout_edges_.resize(nedges);
+  std::vector<std::uint32_t> cursor(t.fanout_offsets_.begin(),
+                                    t.fanout_offsets_.end() - 1);
+  for (GateId id = 0; id < n; ++id) {
+    for (std::uint32_t e = t.fanin_offsets_[id]; e < t.fanin_offsets_[id + 1];
+         ++e) {
+      t.fanout_edges_[cursor[t.fanin_edges_[e]]++] = id;
+    }
+  }
+
+  // Level buckets. FIFO Kahn dequeues in nondecreasing level order (a gate
+  // is enqueued only after a gate of the previous level completes, and all
+  // of level L is enqueued before any of level L+1), so the topo order is
+  // already the concatenation of the level buckets; verify and record the
+  // boundaries.
+  t.num_levels_ = 0;
+  for (std::uint32_t lvl : t.levels_) t.num_levels_ = std::max(t.num_levels_, lvl + 1);
+  t.level_begin_.assign(t.num_levels_ + 1, 0);
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < t.topo_.size(); ++i) {
+    const std::uint32_t lvl = t.levels_[t.topo_[i]];
+    AIDFT_ASSERT(lvl >= prev, "topo order is not level-sorted");
+    for (std::uint32_t l = prev; l < lvl; ++l) {
+      t.level_begin_[l + 1] = static_cast<std::uint32_t>(i);
+    }
+    prev = lvl;
+  }
+  for (std::uint32_t l = prev; l < t.num_levels_; ++l) {
+    t.level_begin_[l + 1] = static_cast<std::uint32_t>(t.topo_.size());
+  }
+  return t;
+}
+
+std::size_t Topology::bytes() const {
+  return types_.capacity() * sizeof(GateType) +
+         levels_.capacity() * sizeof(std::uint32_t) +
+         fanin_offsets_.capacity() * sizeof(std::uint32_t) +
+         fanin_edges_.capacity() * sizeof(GateId) +
+         fanout_offsets_.capacity() * sizeof(std::uint32_t) +
+         fanout_edges_.capacity() * sizeof(GateId) +
+         topo_.capacity() * sizeof(GateId) +
+         level_begin_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace aidft

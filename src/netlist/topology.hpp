@@ -1,0 +1,99 @@
+// Compiled structure-of-arrays view of a finalized Netlist.
+//
+// The builder-side IR (Netlist + per-gate heap std::vectors) is convenient
+// to grow incrementally, but its adjacency lists are allocation-fragmented
+// pointer chases — exactly what the innermost loops of every hot engine
+// (good-machine simulation, PPSFP fault propagation, SCOAP, PODEM
+// implication) traverse millions of times. Topology is the flat view
+// Netlist::finalize() compiles once:
+//
+//  * CSR fanin and fanout adjacency (offsets[] / edges[], one contiguous
+//    allocation each, edge order identical to Gate::fanin / Gate::fanout);
+//  * flat GateType[] and level[] arrays (no Gate struct in the hot path);
+//  * the topological order plus per-level bucket offsets (level_begin[]),
+//    so simulators can iterate level-by-level over contiguous ranges — the
+//    enabler for future intra-batch level-parallel evaluation.
+//
+// Invalidation: a Netlist is frozen by finalize() (add_gate/connect throw
+// afterwards), so the compiled view can never go stale; it lives exactly as
+// long as its Netlist. Engines cache `const Topology&` at construction and
+// never touch Gate objects on the hot path. Gate::fanin/fanout stay on the
+// builder struct as the mutable source of truth and the cross-check
+// reference for property tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/types.hpp"
+
+namespace aidft {
+
+class Netlist;
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Compiles the flat view. `topo` is the already-computed topological
+  /// order (sources first); FIFO Kahn yields it level-sorted, which build()
+  /// verifies before deriving the per-level bucket offsets.
+  static Topology build(const Netlist& netlist, std::vector<GateId> topo);
+
+  std::size_t num_gates() const { return types_.size(); }
+  GateType type(GateId g) const { return types_[g]; }
+  std::uint32_t level(GateId g) const { return levels_[g]; }
+
+  std::span<const GateId> fanin(GateId g) const {
+    return {fanin_edges_.data() + fanin_offsets_[g],
+            fanin_offsets_[g + 1] - fanin_offsets_[g]};
+  }
+  std::size_t fanin_size(GateId g) const {
+    return fanin_offsets_[g + 1] - fanin_offsets_[g];
+  }
+  /// First fanin (D pin of a DFF, driver of a BUF/NOT/OUTPUT).
+  GateId fanin0(GateId g) const { return fanin_edges_[fanin_offsets_[g]]; }
+
+  std::span<const GateId> fanout(GateId g) const {
+    return {fanout_edges_.data() + fanout_offsets_[g],
+            fanout_offsets_[g + 1] - fanout_offsets_[g]};
+  }
+  std::size_t fanout_size(GateId g) const {
+    return fanout_offsets_[g + 1] - fanout_offsets_[g];
+  }
+
+  /// Gates in topological order (sources first), level-sorted: the gates of
+  /// level L occupy the contiguous range [level_begin(L), level_begin(L+1)).
+  const std::vector<GateId>& topo_order() const { return topo_; }
+
+  /// Max level + 1 (0 for an empty netlist).
+  std::uint32_t num_levels() const { return num_levels_; }
+
+  /// Contiguous slice of topo_order() holding exactly the gates of `lvl`.
+  std::span<const GateId> level_gates(std::uint32_t lvl) const {
+    AIDFT_DBG_ASSERT(lvl < num_levels_, "level out of range");
+    return {topo_.data() + level_begin_[lvl],
+            level_begin_[lvl + 1] - level_begin_[lvl]};
+  }
+
+  /// Offset table into topo_order(): size num_levels()+1.
+  const std::vector<std::uint32_t>& level_begin() const { return level_begin_; }
+
+  /// Heap footprint of the compiled view (for bytes-per-gate reporting).
+  std::size_t bytes() const;
+
+ private:
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<std::uint32_t> fanin_offsets_;   // size num_gates+1
+  std::vector<GateId> fanin_edges_;
+  std::vector<std::uint32_t> fanout_offsets_;  // size num_gates+1
+  std::vector<GateId> fanout_edges_;
+  std::vector<GateId> topo_;
+  std::vector<std::uint32_t> level_begin_;     // size num_levels+1
+  std::uint32_t num_levels_ = 0;
+};
+
+}  // namespace aidft

@@ -102,27 +102,29 @@ void add_gate_clauses(SatSolver& s, GateType type, Lit out,
 
 CircuitCnf::CircuitCnf(const Netlist& nl, SatSolver& solver) {
   AIDFT_REQUIRE(nl.finalized(), "CircuitCnf requires finalized netlist");
+  const Topology& t = nl.topology();
   lits_.assign(nl.num_gates(), Lit{});
-  for (GateId id : nl.topo_order()) {
-    const Gate& g = nl.gate(id);
-    switch (g.type) {
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    switch (type) {
       case GateType::kInput:
       case GateType::kDff:  // pseudo primary input in the scan view
         lits_[id] = pos_lit(solver.new_var());
         break;
       case GateType::kBuf:
       case GateType::kOutput:
-        lits_[id] = lits_[g.fanin[0]];  // alias, no clauses needed
+        lits_[id] = lits_[t.fanin0(id)];  // alias, no clauses needed
         break;
       case GateType::kNot:
-        lits_[id] = ~lits_[g.fanin[0]];  // alias with sign flip
+        lits_[id] = ~lits_[t.fanin0(id)];  // alias with sign flip
         break;
       default: {
         lits_[id] = pos_lit(solver.new_var());
+        const std::span<const GateId> fanin = t.fanin(id);
         std::vector<Lit> in;
-        in.reserve(g.fanin.size());
-        for (GateId f : g.fanin) in.push_back(lits_[f]);
-        add_gate_clauses(solver, g.type, lits_[id], in);
+        in.reserve(fanin.size());
+        for (GateId f : fanin) in.push_back(lits_[f]);
+        add_gate_clauses(solver, type, lits_[id], in);
         break;
       }
     }

@@ -63,7 +63,7 @@ ScanNetlist insert_scan(const Netlist& nl, const ScanPlan& plan) {
   // Clone gates (same order → same names resolve to parallel structure).
   std::vector<GateId> map(nl.num_gates());
   for (GateId id = 0; id < nl.num_gates(); ++id) {
-    map[id] = out.netlist.add_gate(nl.type(id), nl.gate(id).name);
+    map[id] = out.netlist.add_gate(nl.type(id), nl.name_of(id));
   }
   // Scan infrastructure pins.
   out.scan_enable = out.netlist.add_input("se");
@@ -84,9 +84,9 @@ ScanNetlist insert_scan(const Netlist& nl, const ScanPlan& plan) {
       const GateId d_new = map[nl.gate(ff).fanin[0]];
       const GateId mux = out.netlist.add_gate(
           GateType::kMux, {out.scan_enable, d_new, prev_q},
-          out.netlist.gate(map[ff]).name.empty()
+          out.netlist.name_of(map[ff]).empty()
               ? ""
-              : out.netlist.gate(map[ff]).name + "_scanmux");
+              : out.netlist.name_of(map[ff]) + "_scanmux");
       out.netlist.connect(mux, map[ff]);
       out.chain_cells[c].push_back(map[ff]);
       prev_q = map[ff];

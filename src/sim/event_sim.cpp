@@ -10,6 +10,7 @@ EventSimulator::EventSimulator(const Netlist& netlist)
       buckets_(netlist.num_levels()),
       queued_(netlist.num_gates(), false) {
   AIDFT_REQUIRE(netlist.finalized(), "EventSimulator requires finalized netlist");
+  topo_ = &netlist.topology();
   reset();
 }
 
@@ -20,25 +21,28 @@ void EventSimulator::reset() {
   // Establish a consistent baseline (all inputs and DFF state at 0) with one
   // full evaluation; afterwards only events need re-evaluation. Without
   // this, inverting gates would hold a stale 0 until an event reaches them.
-  for (GateId id : netlist_->topo_order()) {
-    const Gate& g = netlist_->gate(id);
-    if (g.type == GateType::kConst1) {
+  const Topology& t = *topo_;
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    if (type == GateType::kConst1) {
       values_[id] = ~0ull;
       continue;
     }
-    if (is_source(g.type) || is_state_element(g.type)) continue;
-    values_[id] = eval_gate_words(g.type, g.fanin.size(), [&](std::size_t k) {
-      return values_[g.fanin[k]];
+    if (is_source(type) || is_state_element(type)) continue;
+    const std::span<const GateId> fin = t.fanin(id);
+    values_[id] = eval_gate_words(type, fin.size(), [&](std::size_t k) {
+      return values_[fin[k]];
     });
   }
 }
 
 void EventSimulator::schedule_fanouts(GateId g) {
-  for (GateId s : netlist_->gate(g).fanout) {
-    if (is_state_element(netlist_->type(s))) continue;  // captured at clock()
+  const Topology& t = *topo_;
+  for (GateId s : t.fanout(g)) {
+    if (is_state_element(t.type(s))) continue;  // captured at clock()
     if (!queued_[s]) {
       queued_[s] = true;
-      buckets_[netlist_->gate(s).level].push_back(s);
+      buckets_[t.level(s)].push_back(s);
     }
   }
 }
@@ -69,10 +73,10 @@ std::size_t EventSimulator::settle() {
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const GateId id = bucket[i];
       queued_[id] = false;
-      const Gate& g = netlist_->gate(id);
+      const std::span<const GateId> fin = topo_->fanin(id);
       const std::uint64_t nv = eval_gate_words(
-          g.type, g.fanin.size(),
-          [&](std::size_t k) { return values_[g.fanin[k]]; });
+          topo_->type(id), fin.size(),
+          [&](std::size_t k) { return values_[fin[k]]; });
       ++evals;
       if (nv != values_[id]) {
         values_[id] = nv;
@@ -90,7 +94,7 @@ std::size_t EventSimulator::clock() {
   std::vector<std::pair<GateId, std::uint64_t>> next;
   next.reserve(netlist_->dffs().size());
   for (GateId ff : netlist_->dffs()) {
-    const std::uint64_t d = values_[netlist_->gate(ff).fanin[0]];
+    const std::uint64_t d = values_[topo_->fanin0(ff)];
     if (d != values_[ff]) next.emplace_back(ff, d);
   }
   for (auto& [ff, d] : next) {

@@ -42,6 +42,7 @@ class EventSimulator {
   void schedule_fanouts(GateId g);
 
   const Netlist* netlist_;
+  const Topology* topo_ = nullptr;  // compiled view; set in the constructor
   std::vector<std::uint64_t> values_;
   std::vector<std::vector<GateId>> buckets_;  // by level
   std::vector<bool> queued_;

@@ -32,6 +32,7 @@ ParallelSimulator::ParallelSimulator(const Netlist& netlist)
       comb_inputs_(netlist.combinational_inputs()),
       values_(netlist.num_gates(), 0) {
   AIDFT_REQUIRE(netlist.finalized(), "simulator requires finalized netlist");
+  topo_ = &netlist.topology();
 }
 
 void ParallelSimulator::simulate(const PatternBatch& batch) {
@@ -40,16 +41,23 @@ void ParallelSimulator::simulate(const PatternBatch& batch) {
   for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
     values_[comb_inputs_[i]] = batch.words[i];
   }
-  const Netlist& nl = *netlist_;
-  for (GateId id : nl.topo_order()) {
-    const Gate& g = nl.gate(id);
-    if (is_source(g.type) || is_state_element(g.type)) {
-      if (g.type == GateType::kConst0) values_[id] = 0;
-      if (g.type == GateType::kConst1) values_[id] = ~0ull;
-      continue;  // inputs and DFF loads already set
+  const Topology& t = *topo_;
+  if (t.num_levels() == 0) return;
+  // Level 0 holds exactly the sources and DFFs: constants get their words,
+  // inputs and DFF loads were set above.
+  for (GateId id : t.level_gates(0)) {
+    if (t.type(id) == GateType::kConst0) values_[id] = 0;
+    if (t.type(id) == GateType::kConst1) values_[id] = ~0ull;
+  }
+  // Levels >= 1 are pure logic: contiguous CSR sweep, no per-gate dispatch
+  // on source/state kinds.
+  for (std::uint32_t lvl = 1; lvl < t.num_levels(); ++lvl) {
+    for (GateId id : t.level_gates(lvl)) {
+      const std::span<const GateId> fin = t.fanin(id);
+      values_[id] = eval_gate_words(
+          t.type(id), fin.size(),
+          [&](std::size_t i) { return values_[fin[i]]; });
     }
-    values_[id] = eval_gate_words(g.type, g.fanin.size(),
-                                  [&](std::size_t i) { return values_[g.fanin[i]]; });
   }
 }
 

@@ -82,6 +82,7 @@ class ParallelSimulator {
 
  private:
   const Netlist* netlist_;
+  const Topology* topo_ = nullptr;  // compiled view; set in the constructor
   std::vector<GateId> comb_inputs_;
   std::vector<std::uint64_t> values_;
 };

@@ -7,6 +7,7 @@ Val3Simulator::Val3Simulator(const Netlist& netlist)
       comb_inputs_(netlist.combinational_inputs()),
       values_(netlist.num_gates(), Val3::kX) {
   AIDFT_REQUIRE(netlist.finalized(), "Val3Simulator requires finalized netlist");
+  topo_ = &netlist.topology();
 }
 
 void Val3Simulator::simulate(const TestCube& cube) {
@@ -15,12 +16,13 @@ void Val3Simulator::simulate(const TestCube& cube) {
   for (std::size_t i = 0; i < comb_inputs_.size(); ++i) {
     values_[comb_inputs_[i]] = cube.bits[i];
   }
-  const Netlist& nl = *netlist_;
-  for (GateId id : nl.topo_order()) {
-    const Gate& g = nl.gate(id);
-    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
-    values_[id] = eval_gate3(g.type, g.fanin.size(),
-                             [&](std::size_t i) { return values_[g.fanin[i]]; });
+  const Topology& t = *topo_;
+  for (GateId id : t.topo_order()) {
+    const GateType type = t.type(id);
+    if (type == GateType::kInput || type == GateType::kDff) continue;
+    const std::span<const GateId> fin = t.fanin(id);
+    values_[id] = eval_gate3(type, fin.size(),
+                             [&](std::size_t i) { return values_[fin[i]]; });
   }
 }
 

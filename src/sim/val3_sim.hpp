@@ -30,6 +30,7 @@ class Val3Simulator {
 
  private:
   const Netlist* netlist_;
+  const Topology* topo_ = nullptr;  // compiled view; set in the constructor
   std::vector<GateId> comb_inputs_;
   std::vector<Val3> values_;
 };

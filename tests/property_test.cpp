@@ -40,7 +40,7 @@ TEST_P(BenchRoundTrip, RandomCircuitsSimulateIdentically) {
   const auto inputs_a = original.combinational_inputs();
   const PatternBatch batch_a = pack_patterns(cubes, 0, 64);
   for (std::size_t i = 0; i < inputs_a.size(); ++i) {
-    const std::string name = original.gate(inputs_a[i]).name;
+    const std::string name = original.name_of(inputs_a[i]);
     const GateId g = back.find(name);
     ASSERT_NE(g, kNoGate) << name;
     for (std::size_t j = 0; j < inputs_b.size(); ++j) {

@@ -72,7 +72,7 @@ TEST(Wrapper, InternalTestModeIsolatesTheCore) {
   for (const Fault& f : faults) {
     // Skip faults on the wrapper infrastructure itself and on the pinned
     // functional pins; the property is about the core's logic.
-    const auto& name = w.netlist.gate(f.gate).name;
+    const auto& name = w.netlist.name_of(f.gate);
     if (name.rfind("wbr_", 0) == 0 || name == "wen") continue;
     if (w.netlist.type(f.gate) == GateType::kInput) continue;
     ++targeted;
