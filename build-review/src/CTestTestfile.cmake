@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("netlist")
+subdirs("bench_circuits")
+subdirs("sim")
+subdirs("fault")
+subdirs("fsim")
+subdirs("sat")
+subdirs("atpg")
+subdirs("scan")
+subdirs("drc")
+subdirs("compress")
+subdirs("bist")
+subdirs("diag")
+subdirs("aichip")
+subdirs("dnn")
+subdirs("core")
